@@ -1,0 +1,47 @@
+"""Simulator performance: cycles per host-second.
+
+Not a paper result — engineering telemetry so regressions in the
+cycle loop are visible in CI, and so experiment budgets in the other
+benches stay predictable.
+"""
+
+from repro.cpu.machine import Machine
+from repro.isa.program import ProgramBuilder
+
+from conftest import emit
+
+
+def _busy_program(iterations):
+    return (ProgramBuilder("spin")
+            .li("r1", 0).li("r2", iterations).li("r3", 7)
+            .label("loop")
+            .mul("r4", "r3", "r3")
+            .addi("r1", "r1", 1)
+            .bne("r1", "r2", "loop")
+            .halt().build())
+
+
+def test_single_context_throughput(benchmark):
+    def run():
+        machine = Machine()
+        machine.contexts[0].load_program(_busy_program(5000))
+        machine.run(100_000)
+        return machine.cycle
+
+    cycles = benchmark(run)
+    emit("simulator_throughput",
+         f"single-context run: {cycles} simulated cycles per call\n"
+         f"(see pytest-benchmark table for host time)")
+    assert cycles > 5000
+
+
+def test_smt_throughput(benchmark):
+    def run():
+        machine = Machine()
+        machine.contexts[0].load_program(_busy_program(2500))
+        machine.contexts[1].load_program(_busy_program(2500))
+        machine.run(100_000)
+        return machine.cycle
+
+    cycles = benchmark(run)
+    assert cycles > 2500

@@ -1,0 +1,55 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Every benchmark regenerates one table or figure of the paper.  Results
+are printed as text tables (run with ``pytest benchmarks/
+--benchmark-only -s`` to see them) and appended to
+``benchmarks/results/`` so EXPERIMENTS.md can cite stable artefacts.
+
+Scale: set ``REPRO_FULL_SCALE=1`` to run the paper's full sample
+counts (e.g. 10,000 monitor measurements for Fig. 10); the default is
+a faster scaled-down configuration with identical shape.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_FULL_SCALE", "") == "1"
+
+
+def render_table(title, headers, rows) -> str:
+    """Plain-text table renderer."""
+    columns = [headers] + [[str(cell) for cell in row] for row in rows]
+    widths = [max(len(row[i]) for row in columns)
+              for i in range(len(headers))]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in columns[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def emit(name: str, text: str):
+    """Print a result block and persist it under benchmarks/results."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benchmarked callable exactly once (these experiments
+    are minutes-scale simulations, not microbenchmarks)."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""The AES attack of §4.4/§6.2, end to end — plus key recovery.
+
+1. A victim decrypts one block with OpenSSL-style table AES inside an
+   enclave; the tables and round keys live on separate pages.
+2. MicroScope single-steps the decryption with the rk/Td0 pivot
+   ping-pong, probing all 64 Td cache lines at every fault (Fig. 11).
+3. The extracted round-1 line observations give the high nibble of
+   every byte of the first decryption round key (= the last
+   encryption round key) — 64 bits of key material from line
+   granularity alone.
+4. At entry granularity (MicroScope denoising a sub-line channel like
+   MemJam), the same observations yield the full round key, and the
+   AES-128 key schedule inverts to the master key.
+
+Run:  python examples/aes_single_run_extraction.py
+"""
+
+from repro.core.analysis import (
+    IndexObservation,
+    assemble_round_key,
+    recover_round_key,
+)
+from repro.core.attacks.aes_cache import AESCacheAttack
+from repro.core.attacks.aes_key_recovery import AESKeyRecoveryAttack
+from repro.crypto.aes import (
+    encrypt_block,
+    expand_decrypt_key,
+    first_round_accesses,
+)
+from repro.crypto.keyschedule import invert_aes128_schedule
+
+KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+
+
+def figure11_demo(ciphertext):
+    print("=== Figure 11: one iteration, three replays ===")
+    attack = AESCacheAttack(KEY, ciphertext)
+    fig11 = attack.run_figure11()
+    print("Td1 line :", "  ".join(f"{i:>4}" for i in range(16)))
+    for replay, latencies in enumerate(fig11.replay_latencies):
+        print(f"replay {replay} :",
+              "  ".join(f"{lat:>4}" for lat in latencies))
+    print(f"lines accessed in the window (truth)    : "
+          f"{fig11.truth_lines}")
+    print(f"lines extracted from primed replays     : "
+          f"{fig11.extracted_lines}")
+    print(f"noise-free: {fig11.noise_free}\n")
+
+
+def full_extraction_demo(ciphertext):
+    print("=== Single-run extraction of the whole decryption ===")
+    attack = AESCacheAttack(KEY, ciphertext)
+    result = attack.run_full_extraction()
+    for table in range(4):
+        print(f"Td{table}: extracted {sorted(result.extracted_lines[table])}")
+    print(f"recall {result.union_recall():.3f}  "
+          f"precision {result.union_precision():.3f}  "
+          f"victim still decrypted correctly: {result.plaintext_ok}\n")
+
+
+def key_recovery_demo():
+    print("=== Key recovery, driven by the attack's own probes ===")
+    plaintexts = [b"sixteen byte msg", b"another message!",
+                  b"third ciphertext"]
+    ciphertexts = [encrypt_block(KEY, p) for p in plaintexts]
+
+    # Stage 1: run the full stepper per block; attribute each round-1
+    # statement's table line from the fault-window probe logs alone.
+    attack = AESKeyRecoveryAttack(KEY)
+    result = attack.run(ciphertexts)
+    for block, attribution in enumerate(result.attributions):
+        print(f"  block {block}: attribution accuracy "
+              f"{attribution.accuracy_against(KEY):.2f}")
+    rk = expand_decrypt_key(KEY)
+    true_round_key = b"".join(w.to_bytes(4, "big") for w in rk[0:4])
+    recovered_nibbles = "".join(
+        f"{result.recovered[i]:x}" if i in result.recovered else "?"
+        for i in range(16))
+    true_nibbles = "".join(f"{b >> 4:x}" for b in true_round_key)
+    print(f"line granularity (64B): {result.bits_recovered} key bits "
+          f"from {len(ciphertexts)} blocks")
+    print(f"  recovered high nibbles: {recovered_nibbles}")
+    print(f"  truth                 : {true_nibbles}")
+    print(f"  all correct: {result.all_correct}")
+
+    # Stage 2: with a sub-line channel (MemJam-style, which MicroScope
+    # denoises the same way) the observations carry full indices; the
+    # same pipeline then completes the master key.
+    index_obs = []
+    for ciphertext in ciphertexts:
+        for access in first_round_accesses(KEY, ciphertext):
+            index_obs.append(IndexObservation(
+                ciphertext, access.statement, access.table,
+                access.index))
+    key_bytes = recover_round_key(index_obs)
+    round_key = assemble_round_key(key_bytes)
+    master = invert_aes128_schedule(round_key)
+    print(f"entry granularity (4B): full round key -> schedule "
+          f"inversion")
+    print(f"  recovered master key: {master.hex()}")
+    print(f"  true master key     : {KEY.hex()}")
+    print(f"  match: {master == KEY}")
+
+
+def main():
+    ciphertext = encrypt_block(KEY, b"attack at dawn!!")
+    figure11_demo(ciphertext)
+    full_extraction_demo(ciphertext)
+    key_recovery_demo()
+
+
+if __name__ == "__main__":
+    main()

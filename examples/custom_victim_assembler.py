@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Bring your own victim: write it in assembler, find replay handles
+automatically, and attack it.
+
+Demonstrates the library as a research framework rather than a fixed
+set of experiments:
+
+1. a victim is written in micro-ISA assembly text;
+2. :func:`find_replay_handles` (§4.1.1) enumerates viable handles for
+   its sensitive instruction;
+3. the chosen handle is armed and the secret-dependent table access is
+   extracted by Prime+Probe across replays.
+
+Run:  python examples/custom_victim_assembler.py
+"""
+
+from repro.core.handles import find_replay_handles
+from repro.core.recipes import ReplayAction, ReplayDecision
+from repro.core.replayer import AttackEnvironment, Replayer
+from repro.isa.assembler import assemble
+
+SECRET = 13  # which table line the victim touches (0..15)
+
+
+def main():
+    rep = Replayer(AttackEnvironment.build())
+    process = rep.create_victim_process("custom")
+    scratch = process.alloc(4096, "scratch")
+    table = process.alloc(4096, "table")
+    secret_va = process.enclave.private_base
+    process.write(secret_va, SECRET)
+
+    source = f"""
+    ; a hand-written victim: loads a secret and touches table[secret]
+        li    r1, {scratch}
+        li    r2, {secret_va}
+        li    r3, {table}
+        store [r1 + 8], r3     ; unrelated bookkeeping (a handle!)
+        load  r4, [r1]         ; another candidate handle
+        load  r5, [r2]         ; the secret (enclave-private)
+        li    r6, 64
+        mul   r7, r5, r6
+        add   r7, r7, r3
+        load  r8, [r7]         ; sensitive: secret-indexed access
+        halt
+    """
+    program = assemble(source, name="custom-victim")
+    print("Victim program:")
+    print(program.listing(), "\n")
+
+    sensitive = next(i for i, ins in enumerate(program.instructions)
+                     if ins.rs1 == "r7" and ins.is_load)
+    candidates = find_replay_handles(program, sensitive)
+    print(f"Replay-handle candidates for instruction {sensitive}:")
+    for candidate in candidates:
+        print(f"  {candidate}")
+    handle_index = candidates[0].index
+    print(f"arming the first candidate (instruction "
+          f"{handle_index})\n")
+
+    probe_addrs = [table + line * 64 for line in range(16)]
+    observed = []
+
+    def attack_fn(event):
+        latencies = rep.module.probe_lines(process, probe_addrs)
+        hits = [i for i, lat in enumerate(latencies) if lat <= 20]
+        observed.append(hits)
+        cost = rep.module.prime_lines(process, probe_addrs)
+        action = (ReplayAction.RELEASE if event.replay_no >= 4
+                  else ReplayAction.REPLAY)
+        return ReplayDecision(action, extra_cost=cost)
+
+    recipe = rep.module.provide_replay_handle(
+        process, scratch, attack_function=attack_fn,
+        name="custom-attack")
+    rep.launch_victim(process, program)
+    rep.module.prime_lines(process, probe_addrs)
+    rep.arm(recipe)
+    rep.run_until_victim_done()
+
+    print("Per-replay probe hits (table lines found in L1):")
+    for replay, hits in enumerate(observed):
+        print(f"  replay {replay}: {hits}")
+    stable = set(observed[1]) if len(observed) > 1 else set()
+    for hits in observed[2:]:
+        stable &= set(hits)
+    extracted = stable.pop() if len(stable) == 1 else None
+    print(f"\nextracted secret: {extracted}   true secret: {SECRET}   "
+          f"correct: {extracted == SECRET}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Quickstart: your first microarchitectural replay attack.
+
+Builds a simulated platform (out-of-order SMT core, caches, page
+tables, kernel, SGX), puts a victim with a secret-dependent branch in
+an enclave, and uses MicroScope to replay its two secret-dependent
+instructions until the port-contention monitor can read the secret —
+all from ONE architectural run of the victim.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.attacks.port_contention import PortContentionAttack
+
+
+def main():
+    attack = PortContentionAttack(measurements=1500)
+
+    print("Calibrating the contention threshold (quiet run)...")
+    threshold = attack.calibrate(samples=600)
+    print(f"  threshold = {threshold:.0f} cycles "
+          f"(the paper's ~120-cycle line)\n")
+
+    for secret, label in ((0, "two multiplications"),
+                          (1, "two divisions")):
+        print(f"Victim secret = {secret} ({label}); attacking...")
+        result = attack.run(secret=secret, threshold=threshold)
+        print(f"  monitor samples        : {len(result.samples)}")
+        print(f"  above threshold        : {result.above_threshold}")
+        print(f"  replays of the victim  : {result.replays}")
+        guess = "div side (secret=1)" if result.verdict else \
+            "mul side (secret=0)"
+        print(f"  attacker's verdict     : {guess}")
+        print(f"  correct                : {result.correct}\n")
+
+    print("Both secrets read correctly from a single logical run each —")
+    print("the victim's code executed architecturally exactly once.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Extracting an RSA-style private exponent in a single run.
+
+The victim computes ``base^d mod n`` with square-and-multiply — the
+classic side-channel target.  MicroScope steps the loop iteration by
+iteration (handle fault, replays, pivot swap) and Prime+Probes the
+multiply path's operand lines: an iteration that touches its operand
+line took the multiply branch, so its exponent bit is 1.
+
+Every bit is recovered from ONE architectural execution; the victim
+still produces the correct modexp result.
+
+Run:  python examples/rsa_exponent_extraction.py [--bits N]
+"""
+
+import argparse
+import random
+
+from repro.core.attacks.rsa import ModExpExtractionAttack
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bits", type=int, default=24,
+                        help="secret exponent width")
+    parser.add_argument("--seed", type=int, default=2019)
+    args = parser.parse_args()
+
+    rng = random.Random(args.seed)
+    exponent = rng.getrandbits(args.bits) | (1 << (args.bits - 1)) | 1
+    print(f"secret exponent ({args.bits} bits): {exponent:#x}")
+    print(f"bit string (LSB first): "
+          f"{''.join(str((exponent >> i) & 1) for i in range(args.bits))}")
+
+    attack = ModExpExtractionAttack()
+    result = attack.run(exponent)
+
+    extracted = "".join("?" if b is None else str(b)
+                        for b in result.extracted_bits)
+    print(f"\nextracted  (LSB first): {extracted}")
+    print(f"replays used           : {result.replays} "
+          f"({attack.replays_per_iteration} per iteration)")
+    print(f"victim's modexp result : "
+          f"{'correct' if result.result_correct else 'WRONG'}")
+    recovered = result.recovered_exponent
+    print(f"recovered exponent     : "
+          f"{recovered:#x}" if recovered is not None else "incomplete")
+    print(f"exact match            : {result.exact}")
+
+
+if __name__ == "__main__":
+    main()

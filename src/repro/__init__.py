@@ -1,0 +1,30 @@
+"""MicroScope: Enabling Microarchitectural Replay Attacks (ISCA 2019).
+
+A full-system reproduction of Skarlatos et al.'s MicroScope on a
+cycle-level simulator written from scratch:
+
+* :mod:`repro.isa` -- the micro-ISA, programs and assembler;
+* :mod:`repro.cpu` -- the out-of-order SMT core and machine;
+* :mod:`repro.mem` -- physical memory and the cache hierarchy;
+* :mod:`repro.vm` -- page tables, TLBs, PWC and the hardware walker;
+* :mod:`repro.kernel` -- the simulated OS;
+* :mod:`repro.sgx` -- enclaves, AEX, attestation;
+* :mod:`repro.crypto` -- OpenSSL-style table AES;
+* :mod:`repro.victims` -- the paper's victim/monitor programs;
+* :mod:`repro.core` -- MicroScope itself: recipes, kernel module,
+  Replayer, attacks and analysis;
+* :mod:`repro.defenses` -- the Section 8 countermeasures;
+* :mod:`repro.baselines` -- the Table-1 comparison attacks.
+
+Quick start::
+
+    from repro.core.attacks import PortContentionAttack
+    result = PortContentionAttack(measurements=2000).run(secret=1)
+    print(result.above_threshold, result.verdict)
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.replayer import AttackEnvironment, Replayer
+
+__all__ = ["AttackEnvironment", "Replayer", "__version__"]

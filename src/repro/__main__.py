@@ -1,0 +1,94 @@
+"""Command-line demo front end: ``python -m repro <demo>``.
+
+Runs compact versions of the headline experiments without leaving the
+terminal.  For the full harness use ``pytest benchmarks/
+--benchmark-only -s`` and the scripts in ``examples/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _demo_port(args):
+    from repro.core.attacks.port_contention import PortContentionAttack
+    attack = PortContentionAttack(measurements=args.samples)
+    threshold = attack.calibrate()
+    print(f"threshold: {threshold:.0f} cycles")
+    for secret in (0, 1):
+        result = attack.run(secret=secret, threshold=threshold)
+        print(f"secret={secret}: {result.above_threshold}/"
+              f"{len(result.samples)} above threshold, "
+              f"{result.replays} replays, verdict="
+              f"{'div' if result.verdict else 'mul'} "
+              f"({'correct' if result.correct else 'WRONG'})")
+
+
+def _demo_aes(args):
+    from repro.core.attacks.aes_cache import AESCacheAttack
+    from repro.crypto.aes import encrypt_block
+    key = bytes(range(16))
+    ciphertext = encrypt_block(key, b"attack at dawn!!")
+    attack = AESCacheAttack(key, ciphertext)
+    fig11 = attack.run_figure11()
+    print("Figure 11 (Td1 line latencies per replay):")
+    for replay, latencies in enumerate(fig11.replay_latencies):
+        print(f"  replay {replay}: {latencies}")
+    print(f"extracted {fig11.extracted_lines}, truth "
+          f"{fig11.truth_lines}, noise-free: {fig11.noise_free}")
+    result = attack.run_full_extraction()
+    print(f"full extraction: recall {result.union_recall():.3f}, "
+          f"precision {result.union_precision():.3f}, victim ok: "
+          f"{result.plaintext_ok}")
+
+
+def _demo_key(args):
+    from repro.core.attacks.aes_key_recovery import AESKeyRecoveryAttack
+    from repro.crypto.aes import encrypt_block
+    key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    plaintexts = [b"sixteen byte msg", b"another message!",
+                  b"third ciphertext"]
+    ciphertexts = [encrypt_block(key, p) for p in plaintexts]
+    result = AESKeyRecoveryAttack(key).run(ciphertexts)
+    print(f"high nibbles recovered: {result.bytes_recovered}/16 "
+          f"({result.bits_recovered} key bits), all correct: "
+          f"{result.all_correct}")
+
+
+def _demo_defenses(args):
+    from repro.defenses.fences import evaluate_fence_on_flush
+    from repro.defenses.tsgx import evaluate_tsgx
+    fence = evaluate_fence_on_flush(replays=8)
+    print(f"fence-on-flush: leaked transmits "
+          f"{fence.transmit_issues_undefended} -> "
+          f"{fence.transmit_issues_defended}")
+    tsgx = evaluate_tsgx()
+    print(f"T-SGX: OS faults {tsgx.os_faults_seen}, replay windows "
+          f"{tsgx.replay_windows_observed}/{tsgx.threshold}, victim "
+          f"terminated: {tsgx.victim_terminated}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="MicroScope reproduction demos")
+    sub = parser.add_subparsers(dest="demo", required=True)
+    port = sub.add_parser("port-contention",
+                          help="Figure 10 in miniature")
+    port.add_argument("--samples", type=int, default=1500)
+    port.set_defaults(fn=_demo_port)
+    aes = sub.add_parser("aes", help="Figure 11 + full extraction")
+    aes.set_defaults(fn=_demo_aes)
+    key = sub.add_parser("key-recovery",
+                         help="attack-driven round-key nibbles")
+    key.set_defaults(fn=_demo_key)
+    defenses = sub.add_parser("defenses", help="Section 8 in brief")
+    defenses.set_defaults(fn=_demo_defenses)
+    args = parser.parse_args(argv)
+    args.fn(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""Baseline side-channel attacks — the comparison rows of Table 1."""
+
+from repro.baselines.controlled_channel import (
+    ControlledChannelAttack,
+    ControlledChannelResult,
+    build_page_secret_victim,
+)
+from repro.baselines.prime_probe import AsyncPrimeProbeAttack, PrimeProbeReport
+from repro.baselines.sgx_step import (
+    SGXStepAttack,
+    SteppingAttackReport,
+    SteppingRunResult,
+)
+
+__all__ = [
+    "ControlledChannelAttack",
+    "ControlledChannelResult",
+    "build_page_secret_victim",
+    "AsyncPrimeProbeAttack",
+    "PrimeProbeReport",
+    "SGXStepAttack",
+    "SteppingAttackReport",
+    "SteppingRunResult",
+]

@@ -1,0 +1,230 @@
+"""Denoising and analysis of replay-gathered measurements.
+
+MicroScope's power is statistical: each replay yields one noisy sample,
+and replaying until a confidence threshold is met turns an unreliable
+channel into a reliable one (§4.1.4, §5.2.1).  This module provides
+
+* threshold derivation from calibration samples (the paper sets its
+  contention threshold "slightly less than 120 cycles" from the
+  mul-side distribution — Fig. 10a),
+* sequential confidence tracking that tells the Replayer when to stop,
+* cache-probe classification for the Prime+Probe configuration, and
+* AES key-material recovery from extracted table lines.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.crypto.aes_tables import ENTRIES_PER_LINE
+
+
+# --- latency thresholding ----------------------------------------------------
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]) without numpy."""
+    if not samples:
+        raise ValueError("no samples")
+    if not 0 <= q <= 100:
+        raise ValueError("percentile out of range")
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1,
+                      math.ceil(q / 100.0 * len(ordered)) - 1))
+    return ordered[rank]
+
+
+def derive_threshold(calibration: Sequence[float], margin: float = 2.0,
+                     q: float = 99.5) -> float:
+    """Derive a contention threshold from a quiet-case calibration run:
+    just above (almost) everything seen without contention."""
+    return percentile(calibration, q) + margin
+
+
+def count_above(samples: Iterable[float], threshold: float) -> int:
+    return sum(1 for s in samples if s > threshold)
+
+
+@dataclass
+class ContentionSummary:
+    """Summary of one monitor trace against a threshold."""
+
+    samples: int
+    above: int
+    threshold: float
+
+    @property
+    def rate(self) -> float:
+        return self.above / self.samples if self.samples else 0.0
+
+
+def summarize(samples: Sequence[float],
+              threshold: float) -> ContentionSummary:
+    return ContentionSummary(len(samples), count_above(samples, threshold),
+                             threshold)
+
+
+# --- sequential confidence ---------------------------------------------------
+
+@dataclass
+class ConfidenceTracker:
+    """Sequential probability-ratio test between two Bernoulli rates.
+
+    The Replayer models "victim ran the divide side" as above-threshold
+    samples arriving at ``rate_h1`` and "mul side" as ``rate_h0``, and
+    keeps replaying until the log-likelihood ratio clears the recipe's
+    confidence bound (§5.2.1's confidence threshold).
+    """
+
+    rate_h0: float = 0.002
+    rate_h1: float = 0.02
+    confidence: float = 0.999
+    _llr: float = field(default=0.0, init=False)
+    _observations: int = field(default=0, init=False)
+
+    def __post_init__(self):
+        if not 0 < self.rate_h0 < self.rate_h1 < 1:
+            raise ValueError("need 0 < rate_h0 < rate_h1 < 1")
+        if not 0.5 < self.confidence < 1:
+            raise ValueError("confidence must be in (0.5, 1)")
+
+    @property
+    def bound(self) -> float:
+        return math.log(self.confidence / (1 - self.confidence))
+
+    def observe(self, above_threshold: bool):
+        """Feed one monitor sample's classification."""
+        if above_threshold:
+            self._llr += math.log(self.rate_h1 / self.rate_h0)
+        else:
+            self._llr += math.log((1 - self.rate_h1) / (1 - self.rate_h0))
+        self._observations += 1
+
+    def observe_many(self, flags: Iterable[bool]):
+        for flag in flags:
+            self.observe(flag)
+
+    @property
+    def observations(self) -> int:
+        return self._observations
+
+    @property
+    def decided(self) -> bool:
+        return abs(self._llr) >= self.bound
+
+    @property
+    def verdict(self) -> Optional[bool]:
+        """True = H1 (contention present), False = H0, None = undecided."""
+        if self._llr >= self.bound:
+            return True
+        if self._llr <= -self.bound:
+            return False
+        return None
+
+
+# --- cache probe classification ---------------------------------------------
+
+def classify_hits(latencies: Sequence[int], hit_threshold: int
+                  ) -> List[int]:
+    """Indices whose probe latency indicates a near-core hit."""
+    return [i for i, lat in enumerate(latencies) if lat <= hit_threshold]
+
+
+def majority_lines(replay_hits: Sequence[Iterable[int]],
+                   quorum: Optional[int] = None) -> List[int]:
+    """Combine per-replay hit sets: lines seen in at least *quorum*
+    replays (default: majority) are accepted — the denoising step."""
+    counts: Dict[int, int] = {}
+    total = 0
+    for hits in replay_hits:
+        total += 1
+        for line in set(hits):
+            counts[line] = counts.get(line, 0) + 1
+    if total == 0:
+        return []
+    needed = quorum if quorum is not None else total // 2 + 1
+    return sorted(line for line, n in counts.items() if n >= needed)
+
+
+# --- AES key recovery ---------------------------------------------------------
+
+#: For middle round 1: (statement, table) -> index of the ciphertext /
+#: round-key byte involved.  Statement *s*, table *t* reads byte
+#: position *t* of state word ``(s - t) mod 4`` (the Fig. 8a pattern),
+#: and byte position *t* of word *w* is ciphertext byte ``4w + t``.
+def round1_byte_index(statement: int, table: int) -> int:
+    if not 0 <= statement < 4 or not 0 <= table < 4:
+        raise ValueError("statement and table must be 0..3")
+    word = (statement - table) % 4
+    return 4 * word + table
+
+
+@dataclass
+class LineObservation:
+    """One extracted fact: in round 1, *statement* read *table* on
+    cache *line* while decrypting *ciphertext*."""
+
+    ciphertext: bytes
+    statement: int
+    table: int
+    line: int
+
+
+def recover_high_nibbles(observations: Sequence[LineObservation]
+                         ) -> Dict[int, int]:
+    """First-round attack at cache-line granularity.
+
+    The round-1 index is ``ct_byte ^ k_byte`` and a 64-byte line covers
+    16 consecutive entries, so the observed line equals the XOR of the
+    *high nibbles*: ``line = (ct_byte >> 4) ^ (k_byte >> 4)``.  Each
+    observation therefore pins the high nibble of one key byte; multiple
+    blocks must agree (a consistency check against extraction errors).
+
+    Returns ``{key_byte_index: high_nibble}``.
+    """
+    nibbles: Dict[int, int] = {}
+    for obs in observations:
+        byte_index = round1_byte_index(obs.statement, obs.table)
+        ct_byte = obs.ciphertext[byte_index]
+        candidate = (ct_byte >> 4) ^ obs.line
+        if byte_index in nibbles and nibbles[byte_index] != candidate:
+            raise ValueError(
+                f"inconsistent observations for key byte {byte_index}: "
+                f"{nibbles[byte_index]:#x} vs {candidate:#x}")
+        nibbles[byte_index] = candidate
+    return nibbles
+
+
+@dataclass
+class IndexObservation:
+    """Entry-granularity observation (e.g. MicroScope denoising a
+    sub-line channel like MemJam [39]): exact table index."""
+
+    ciphertext: bytes
+    statement: int
+    table: int
+    index: int
+
+
+def recover_round_key(observations: Sequence[IndexObservation]
+                      ) -> Dict[int, int]:
+    """At entry granularity the round-1 index reveals the full key
+    byte: ``k_byte = ct_byte ^ index``."""
+    key_bytes: Dict[int, int] = {}
+    for obs in observations:
+        byte_index = round1_byte_index(obs.statement, obs.table)
+        candidate = obs.ciphertext[byte_index] ^ obs.index
+        if byte_index in key_bytes and key_bytes[byte_index] != candidate:
+            raise ValueError(
+                f"inconsistent observations for key byte {byte_index}")
+        key_bytes[byte_index] = candidate
+    return key_bytes
+
+
+def assemble_round_key(key_bytes: Dict[int, int]) -> bytes:
+    """Build the 16-byte round key; raises if any byte is missing."""
+    missing = [i for i in range(16) if i not in key_bytes]
+    if missing:
+        raise ValueError(f"missing key bytes: {missing}")
+    return bytes(key_bytes[i] for i in range(16))

@@ -1,0 +1,91 @@
+"""End-to-end microarchitectural replay attacks."""
+
+from repro.core.attacks.aes_cache import (
+    AESCacheAttack,
+    ExtractionResult,
+    Figure11Result,
+    ProbeRecord,
+)
+from repro.core.attacks.adaptive import AdaptiveAttackResult, AdaptiveWalkAttack
+from repro.core.attacks.aes_key_recovery import (
+    AESKeyRecoveryAttack,
+    KeyRecoveryResult,
+    Round1Attribution,
+    attribute_round1,
+    nibble_candidates,
+)
+from repro.core.attacks.control_flow import (
+    CacheCFVictim,
+    ControlFlowCacheAttack,
+    ControlFlowCacheResult,
+    setup_cache_cf_victim,
+)
+from repro.core.attacks.interrupt_replay import (
+    InterruptReplayAttack,
+    InterruptReplayResult,
+)
+from repro.core.attacks.loop_secret import LoopSecretAttack, LoopSecretResult
+from repro.core.attacks.mispredict_replay import (
+    MispredictReplayAttack,
+    MispredictReplayResult,
+    infer_secret_by_priming,
+)
+from repro.core.attacks.port_contention import (
+    PortContentionAttack,
+    PortContentionResult,
+    run_figure10,
+)
+from repro.core.attacks.rdrand import RdrandBiasAttack, RdrandBiasResult
+from repro.core.attacks.rsa import ModExpExtractionAttack, ModExpExtractionResult
+from repro.core.attacks.single_secret import (
+    SUBNORMAL,
+    SecretIdExtractionAttack,
+    SecretIdResult,
+    SubnormalDetectionAttack,
+    SubnormalResult,
+)
+from repro.core.attacks.tsx_replay import (
+    TSGXInteraction,
+    TSXReplayAttack,
+    TSXReplayResult,
+)
+
+__all__ = [
+    "AdaptiveAttackResult",
+    "AdaptiveWalkAttack",
+    "AESCacheAttack",
+    "AESKeyRecoveryAttack",
+    "KeyRecoveryResult",
+    "Round1Attribution",
+    "attribute_round1",
+    "nibble_candidates",
+    "ExtractionResult",
+    "Figure11Result",
+    "ProbeRecord",
+    "CacheCFVictim",
+    "ControlFlowCacheAttack",
+    "ControlFlowCacheResult",
+    "setup_cache_cf_victim",
+    "InterruptReplayAttack",
+    "InterruptReplayResult",
+    "LoopSecretAttack",
+    "LoopSecretResult",
+    "MispredictReplayAttack",
+    "MispredictReplayResult",
+    "infer_secret_by_priming",
+    "PortContentionAttack",
+    "PortContentionResult",
+    "run_figure10",
+    "RdrandBiasAttack",
+    "RdrandBiasResult",
+    "ModExpExtractionAttack",
+    "ModExpExtractionResult",
+    "SUBNORMAL",
+    "SecretIdExtractionAttack",
+    "SecretIdResult",
+    "SubnormalDetectionAttack",
+    "SubnormalResult",
+    "TSGXInteraction",
+    "TSXReplayAttack",
+    "TSXReplayResult",
+]

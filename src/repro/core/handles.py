@@ -1,0 +1,97 @@
+"""Replay-handle discovery (§4.1.1).
+
+"A replay handle can be any memory access instruction that occurs
+shortly before a sensitive instruction in program order, and that
+satisfies two conditions.  First, it accesses data from a different
+page than the sensitive instruction.  Second, the sensitive instruction
+is not data dependent on the replay handle."
+
+This module finds such instructions by static analysis of a victim
+program: a backward def-use scan establishes (in)dependence, and an
+optional address map (the OS knows the victim's layout) establishes
+page-distinctness.  It also powers the §8 observation that
+PF-obliviousness *adds* replay handles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.isa.instructions import Instruction
+from repro.isa.program import Program
+from repro.vm import address as vaddr
+
+
+@dataclass(frozen=True)
+class HandleCandidate:
+    """One viable replay handle for a given sensitive instruction."""
+
+    index: int              # instruction index of the handle
+    distance: int           # instructions between handle and target
+    instruction: Instruction
+
+    def __str__(self) -> str:
+        return f"[{self.index}] {self.instruction} (distance {self.distance})"
+
+
+def _dependents_of(program: Program, start: int, end: int) -> Set[int]:
+    """Indices in ``(start, end]`` transitively data-dependent on the
+    instruction at *start* (straight-line approximation: follows
+    register def-use chains in program order)."""
+    tainted_regs: Set[str] = set()
+    dest = program[start].dest()
+    if dest is not None:
+        tainted_regs.add(dest)
+    dependent: Set[int] = set()
+    for i in range(start + 1, end + 1):
+        instr = program[i]
+        if any(src in tainted_regs for src in instr.sources()):
+            dependent.add(i)
+            d = instr.dest()
+            if d is not None:
+                tainted_regs.add(d)
+        else:
+            d = instr.dest()
+            if d is not None:
+                tainted_regs.discard(d)
+    return dependent
+
+
+def find_replay_handles(program: Program, sensitive_index: int,
+                        window: int = 64,
+                        address_of: Optional[Dict[int, int]] = None
+                        ) -> List[HandleCandidate]:
+    """Enumerate replay-handle candidates for *sensitive_index*.
+
+    *window* bounds how far before the sensitive instruction to look
+    (a handle must be close enough that the ROB can hold both).
+    *address_of* optionally maps instruction index -> accessed VA so
+    the different-page condition can be checked; without it, loads
+    whose page relationship is unknown are still reported (the caller
+    resolves pages at arm time).
+    """
+    if not 0 <= sensitive_index < len(program):
+        raise ValueError("sensitive_index outside program")
+    candidates: List[HandleCandidate] = []
+    start = max(0, sensitive_index - window)
+    for i in range(start, sensitive_index):
+        instr = program[i]
+        if not instr.is_memory:
+            continue
+        if sensitive_index in _dependents_of(program, i, sensitive_index):
+            continue  # condition 2: no data dependence
+        if address_of is not None and i in address_of \
+                and sensitive_index in address_of:
+            if vaddr.same_page(address_of[i],
+                               address_of[sensitive_index]):
+                continue  # condition 1: different pages
+        candidates.append(HandleCandidate(
+            index=i, distance=sensitive_index - i, instruction=instr))
+    return candidates
+
+
+def count_memory_instructions(program: Program) -> int:
+    """Total loads+stores — the upper bound on handle opportunities
+    (used by the PF-obliviousness ablation)."""
+    return sum(1 for instr in program.instructions if instr.is_memory)

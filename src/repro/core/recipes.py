@@ -1,0 +1,141 @@
+"""Attack Recipes (§5.2.1).
+
+An :class:`AttackRecipe` bundles everything the MicroScope module needs
+for one microarchitectural replay attack: the replay handle, the
+optional pivot, addresses to monitor for cache-based side channels, a
+confidence threshold, and the attack functions invoked from the fault
+trampoline.  "This modular design allows an attacker to use a variety
+of approaches to perform an attack, and to dynamically change the
+attack recipe depending on the victim behavior."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.kernel.process import Process
+from repro.vm.faults import PageFault
+
+
+class WalkLocation(enum.Enum):
+    """Where page-table entries sit when the walker needs them —
+    the §4.1.2 page-walk-duration tuning knob."""
+
+    PWC = "pwc"      # upper levels hit the page-walk cache
+    L1 = "l1"
+    L2 = "l2"
+    L3 = "l3"
+    DRAM = "dram"
+
+
+@dataclass(frozen=True)
+class WalkTuning:
+    """Placement of the translation path for the next walk.
+
+    ``upper`` covers PGD/PUD/PMD, ``leaf`` the PTE.  Short walks
+    (``PWC``/``L1``) give small speculation windows for single-stepping
+    (§4.4); long walks (``DRAM``) give windows bounded only by the ROB.
+    """
+
+    upper: WalkLocation = WalkLocation.PWC
+    leaf: WalkLocation = WalkLocation.DRAM
+
+    def __post_init__(self):
+        if self.leaf is WalkLocation.PWC:
+            raise ValueError("the leaf PTE is never cached in the PWC")
+
+
+class ReplayAction(enum.Enum):
+    """What the attack function tells the module to do with a fault."""
+
+    REPLAY = "replay"      # keep the present bit clear: another replay
+    RELEASE = "release"    # set the present bit: forward progress
+    PIVOT = "pivot"        # release the handle, arm the pivot (§4.2.2)
+    HALT = "halt"          # stop the victim entirely
+
+
+@dataclass
+class ReplayDecision:
+    action: ReplayAction
+    #: Extra simulated cycles the module spends (probing, priming...).
+    extra_cost: int = 0
+
+
+@dataclass
+class ReplayEvent:
+    """Context handed to attack functions on every trampoline entry."""
+
+    recipe: "AttackRecipe"
+    context: object          # HardwareContext
+    fault: PageFault
+    replay_no: int           # 1-based count of handle faults so far
+    is_pivot_fault: bool
+
+
+#: An attack function: inspects the event (and typically probes or
+#: reads monitor state through the module) and decides what next.
+AttackFunction = Callable[[ReplayEvent], ReplayDecision]
+
+
+def replay_n_times(n: int) -> AttackFunction:
+    """The simplest §4.1.4 strategy: unconditionally replay *n* times,
+    then release."""
+
+    def attack_fn(event: ReplayEvent) -> ReplayDecision:
+        if event.replay_no >= n:
+            return ReplayDecision(ReplayAction.RELEASE)
+        return ReplayDecision(ReplayAction.REPLAY)
+
+    return attack_fn
+
+
+@dataclass
+class AttackRecipe:
+    """All state the module keeps for one attack (§5.2.1)."""
+
+    name: str
+    process: Process
+    replay_handle_va: int
+    pivot_va: Optional[int] = None
+    monitor_addrs: List[int] = field(default_factory=list)
+    #: Stop-condition confidence used by ConfidenceTracker-based
+    #: attack functions.
+    confidence: float = 0.999
+    max_replays: int = 1000
+    walk_tuning: WalkTuning = field(default_factory=WalkTuning)
+    #: Flush the monitored lines before every replay (re-prime; §4.1.4
+    #: step 5).
+    prime_monitor_addrs: bool = False
+    attack_function: Optional[AttackFunction] = None
+    #: Invoked on pivot faults; None selects the default §4.2.2 swap.
+    pivot_function: Optional[AttackFunction] = None
+
+    # --- mutable attack-progress state ---------------------------------
+    replays: int = 0
+    pivot_faults: int = 0
+    released: bool = False
+    #: Per-replay probe results appended by attack functions.
+    probe_log: List[object] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.pivot_va is not None:
+            from repro.vm import address as vaddr
+            if vaddr.same_page(self.pivot_va, self.replay_handle_va):
+                raise ValueError(
+                    "pivot must live on a different page than the replay "
+                    "handle (§4.2.2)")
+
+    def decide(self, event: ReplayEvent) -> ReplayDecision:
+        if event.is_pivot_fault and self.pivot_function is not None:
+            return self.pivot_function(event)
+        if not event.is_pivot_fault and self.attack_function is not None:
+            return self.attack_function(event)
+        # Defaults: handle faults replay up to max_replays; pivot
+        # faults perform the standard swap back to the handle.
+        if event.is_pivot_fault:
+            return ReplayDecision(ReplayAction.PIVOT)
+        if event.replay_no >= self.max_replays:
+            return ReplayDecision(ReplayAction.RELEASE)
+        return ReplayDecision(ReplayAction.REPLAY)

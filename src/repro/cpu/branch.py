@@ -1,0 +1,80 @@
+"""Branch prediction.
+
+A classic two-bit saturating-counter direction predictor indexed by
+instruction address.  Two properties matter for MicroScope:
+
+* predictor state *persists across squashes and replays* — §4.2.3 uses
+  exactly this ("whether there is a misprediction leaks the secret");
+* the table can be flushed, modelling the enclave-boundary predictor
+  flush countermeasure [12], and primed to a chosen state, modelling
+  the Spectre-style priming the paper mentions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Two-bit counter states.
+STRONG_NOT_TAKEN, WEAK_NOT_TAKEN, WEAK_TAKEN, STRONG_TAKEN = 0, 1, 2, 3
+
+
+@dataclass
+class PredictorStats:
+    predictions: int = 0
+    mispredictions: int = 0
+
+    def reset(self):
+        self.predictions = self.mispredictions = 0
+
+    @property
+    def accuracy(self) -> float:
+        if not self.predictions:
+            return 1.0
+        return 1.0 - self.mispredictions / self.predictions
+
+
+class BranchPredictor:
+    """Two-bit bimodal predictor."""
+
+    def __init__(self, entries: int = 512, initial: int = WEAK_NOT_TAKEN):
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        self.entries = entries
+        self._initial = initial
+        self._table = [initial] * entries
+        self.stats = PredictorStats()
+
+    def _index(self, pc: int) -> int:
+        return pc % self.entries
+
+    def predict(self, pc: int) -> bool:
+        """Predict the direction of the branch at *pc* (True = taken)."""
+        self.stats.predictions += 1
+        return self._table[self._index(pc)] >= WEAK_TAKEN
+
+    def peek(self, pc: int) -> int:
+        """Raw counter value (no stats side effects)."""
+        return self._table[self._index(pc)]
+
+    def update(self, pc: int, taken: bool, mispredicted: bool):
+        """Train the counter with the resolved direction."""
+        if mispredicted:
+            self.stats.mispredictions += 1
+        index = self._index(pc)
+        counter = self._table[index]
+        if taken:
+            self._table[index] = min(counter + 1, STRONG_TAKEN)
+        else:
+            self._table[index] = max(counter - 1, STRONG_NOT_TAKEN)
+
+    def flush(self):
+        """Reset every counter — the enclave-boundary countermeasure.
+        Note the paper's observation: flushing puts the predictor into
+        a *known public state*, which itself helps the attacker."""
+        self._table = [self._initial] * self.entries
+
+    def prime(self, pc: int, taken: bool):
+        """Force the counter for *pc* into a strong state — the
+        attacker-controlled priming of §4.2.3."""
+        self._table[self._index(pc)] = (
+            STRONG_TAKEN if taken else STRONG_NOT_TAKEN)

@@ -1,0 +1,187 @@
+"""Hardware (SMT) contexts.
+
+A :class:`HardwareContext` is one logical processor: architectural
+register state, a fetch pointer, a private reorder buffer and rename
+map, plus TSX transaction state.  Two contexts share one physical
+core's ports and memory structures — that sharing is what the Monitor
+exploits to observe the Victim.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.isa import registers
+from repro.isa.program import Program
+from repro.cpu.rob import ReorderBuffer, ROBEntry
+
+
+class ContextState(enum.Enum):
+    IDLE = "idle"          # no program loaded
+    RUNNING = "running"
+    BLOCKED = "blocked"    # trapped to the kernel; resumes at a cycle
+    HALTED = "halted"      # retired a HALT or ran past program end
+
+
+@dataclass
+class ContextStats:
+    fetched: int = 0
+    retired: int = 0
+    squashed: int = 0
+    squash_events: int = 0
+    faults: int = 0
+    replays: int = 0            # re-executions of squashed instructions
+    txn_aborts: int = 0
+    interrupts: int = 0
+
+    def reset(self):
+        for name in self.__dataclass_fields__:
+            setattr(self, name, 0)
+
+
+@dataclass
+class TransactionState:
+    """State of an in-progress TSX transaction (committed TBEGIN)."""
+
+    fallback_index: int
+    int_regs: Dict[str, int]
+    fp_regs: Dict[str, float]
+    #: Buffered (paddr, value, width) writes, drained on commit.
+    write_buffer: List[Tuple[int, object, int]] = field(default_factory=list)
+    #: Cache lines in the write set; eviction of any aborts (§7.1).
+    write_lines: Set[int] = field(default_factory=set)
+    #: Cache lines in the read set.
+    read_lines: Set[int] = field(default_factory=set)
+
+
+class HardwareContext:
+    """One SMT logical processor."""
+
+    def __init__(self, context_id: int, rob_size: int):
+        self.context_id = context_id
+        self.int_regs = registers.fresh_int_regfile()
+        self.fp_regs = registers.fresh_fp_regfile()
+        self.rob = ReorderBuffer(rob_size)
+        #: Youngest in-flight producer per register.
+        self.rename: Dict[str, ROBEntry] = {}
+        #: Entries with operands ready, waiting for a port.
+        self.ready: List[ROBEntry] = []
+        self.state = ContextState.IDLE
+        self.program: Optional[Program] = None
+        self.process = None  # set by the kernel when scheduling
+        self.fetch_index = 0
+        #: Front end stalled until this cycle (mispredict/squash refill).
+        self.fetch_stall_until = 0
+        #: Context blocked (kernel trap) until this cycle.
+        self.blocked_until = 0
+        #: Sequence numbers of in-flight FENCEs (and fenced RDRANDs):
+        #: younger entries may not begin execution.
+        self.fence_seqs: List[int] = []
+        #: Dynamic-instance replay detection: indices squashed at least
+        #: once since their last retirement.
+        self.replay_candidates: Set[int] = set()
+        self.txn: Optional[TransactionState] = None
+        self.txn_abort_pending: Optional[str] = None
+        self.last_txn_abort_reason: Optional[str] = None
+        self.pending_interrupt: Optional[str] = None
+        #: Set by the fence-on-flush defense: the next decoded
+        #: instruction behaves as if preceded by a fence.
+        self.serialize_next_fetch = False
+        self.stats = ContextStats()
+        self._next_seq = 0
+
+    # --- lifecycle ---------------------------------------------------------
+
+    def load_program(self, program: Program, process=None,
+                     start_index: int = 0):
+        """Bind *program* (and optionally a process) and start running."""
+        self.program = program
+        self.process = process
+        self.fetch_index = start_index
+        self.state = ContextState.RUNNING
+        self.fetch_stall_until = 0
+        self.blocked_until = 0
+        self.rename.clear()
+        self.ready.clear()
+        self.fence_seqs.clear()
+        self.replay_candidates.clear()
+        self.txn = None
+        self.txn_abort_pending = None
+        self.rob.squash_younger_than(-1)
+
+    def next_seq(self) -> int:
+        seq = self._next_seq
+        self._next_seq += 1
+        return seq
+
+    @property
+    def running(self) -> bool:
+        return self.state is ContextState.RUNNING
+
+    @property
+    def in_transaction(self) -> bool:
+        return self.txn is not None
+
+    def finished(self) -> bool:
+        """True when the context will never retire anything again."""
+        if self.state is ContextState.HALTED:
+            return True
+        if self.state is ContextState.IDLE:
+            return True
+        if (self.state is ContextState.RUNNING and self.rob.empty
+                and self.program is not None
+                and self.fetch_index >= len(self.program)):
+            return True
+        return False
+
+    # --- register access ---------------------------------------------------
+
+    def read_reg(self, name: str):
+        if name in self.int_regs:
+            return self.int_regs[name]
+        return self.fp_regs[name]
+
+    def write_reg(self, name: str, value):
+        if name in self.int_regs:
+            self.int_regs[name] = int(value)
+        else:
+            self.fp_regs[name] = float(value)
+
+    def snapshot_regs(self) -> Tuple[Dict[str, int], Dict[str, float]]:
+        return dict(self.int_regs), dict(self.fp_regs)
+
+    def restore_regs(self, snapshot: Tuple[Dict[str, int],
+                                           Dict[str, float]]):
+        self.int_regs, self.fp_regs = dict(snapshot[0]), dict(snapshot[1])
+
+    # --- squash support ------------------------------------------------------
+
+    def rebuild_rename(self):
+        """Recompute the rename map from surviving ROB entries after a
+        squash (youngest producer wins)."""
+        self.rename.clear()
+        for entry in self.rob.entries:
+            dest = entry.instr.dest()
+            if dest is not None:
+                self.rename[dest] = entry
+
+    def drop_squashed_ready(self):
+        self.ready = [e for e in self.ready if not e.squashed]
+
+    def note_squashed(self, entries):
+        """Track squashed dynamic instructions for replay accounting and
+        clean fence bookkeeping."""
+        if not entries:
+            return
+        self.stats.squashed += len(entries)
+        self.stats.squash_events += 1
+        squashed_seqs = {e.seq for e in entries}
+        self.fence_seqs = [s for s in self.fence_seqs
+                           if s not in squashed_seqs]
+        for entry in entries:
+            self.replay_candidates.add(entry.index)
+
+    def oldest_fence_seq(self) -> Optional[int]:
+        return min(self.fence_seqs) if self.fence_seqs else None

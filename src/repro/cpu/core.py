@@ -1,0 +1,769 @@
+"""The out-of-order, SMT-enabled core.
+
+Per cycle the core performs, in order:
+
+1. **Complete** — pop finished executions off the event heap, write
+   back results, wake dependents, resolve branch mispredictions.
+2. **Abort** — process pending TSX aborts.
+3. **Retire** — per context, retire completed instructions in program
+   order from the ROB head; a faulted head triggers the precise
+   page-fault trap (or a transaction abort when inside TSX).
+4. **Dispatch** — issue ready instructions to execution ports, SMT
+   round-robin, oldest first.  Loads translate through TLB → page walk
+   here, which is where the MicroScope speculation window opens.
+5. **Fetch/decode** — pull instructions from the (predicted) control
+   flow into the ROB.
+
+Everything MicroScope needs emerges from these rules: instructions
+younger than a page-faulting load execute in its shadow and leave
+microarchitectural residue, then are squashed and re-fetched when the
+OS keeps the page non-present — the replay.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import random
+from typing import Callable, List, Optional, Tuple
+
+from repro.cpu.branch import BranchPredictor
+from repro.cpu.config import CoreConfig, op_class
+from repro.cpu.context import ContextState, HardwareContext, TransactionState
+from repro.cpu.ports import PortSet
+from repro.cpu.rob import EntryState, ROBEntry
+from repro.cpu.traps import PanicTrapHandler, TrapAction, TrapHandler
+from repro.isa.instructions import Instruction, Opcode
+from repro.mem.cache import line_of
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.mem.physical import PhysicalMemory
+from repro.vm import address as vaddr
+from repro.vm.faults import PageFault
+from repro.vm.tlb import TLBHierarchy
+from repro.vm.walker import PageWalker
+
+MASK64 = (1 << 64) - 1
+#: Smallest positive normal double; operands/results below this are
+#: subnormal and take the slow divider path.
+_MIN_NORMAL = 2.2250738585072014e-308
+
+
+def _to_signed(value: int) -> int:
+    value &= MASK64
+    return value - (1 << 64) if value >= (1 << 63) else value
+
+
+def _is_subnormal(value: float) -> bool:
+    return value != 0.0 and abs(value) < _MIN_NORMAL and math.isfinite(value)
+
+
+class Core:
+    """One physical core with ``config.num_contexts`` SMT contexts."""
+
+    def __init__(self, core_id: int, config: CoreConfig,
+                 phys: PhysicalMemory, hierarchy: MemoryHierarchy,
+                 tlbs: TLBHierarchy, walker: PageWalker):
+        self.core_id = core_id
+        self.config = config
+        self.phys = phys
+        self.hierarchy = hierarchy
+        self.tlbs = tlbs
+        self.walker = walker
+        self.cycle = 0
+        self.contexts: List[HardwareContext] = [
+            HardwareContext(i, config.rob_size)
+            for i in range(config.num_contexts)]
+        self.ports = PortSet(config.ports, config.non_pipelined)
+        self.predictor = BranchPredictor(config.predictor_entries)
+        self.trap_handler: TrapHandler = PanicTrapHandler()
+        self._events: List[Tuple[int, int, ROBEntry]] = []
+        self._event_tiebreak = 0
+        self._rdrand = random.Random(config.rdrand_seed)
+        self._jitter = random.Random(config.rdtsc_jitter_seed)
+        self.retire_hooks: List[Callable[[HardwareContext, ROBEntry], None]] = []
+        #: Optional PipelineTracer (repro.cpu.trace) receiving
+        #: fetch/issue/complete/retire/squash notifications.
+        self.tracer = None
+        #: Called after every successful issue; lets experiments model
+        #: an SMT observer watching which units the sibling uses.
+        self.issue_hooks: List[Callable[[HardwareContext, ROBEntry], None]] = []
+        #: §7.2 PTE race: called when a faulted access finishes its
+        #: walk.  Returning True means the OS won the race and set the
+        #: present bit before the walker consumed the leaf entry — the
+        #: access then completes normally instead of faulting.
+        self.pte_race_hooks: List[Callable[[HardwareContext, ROBEntry], bool]] = []
+        # Transaction aborts triggered by cache evictions land here.
+        hierarchy.l1.add_evict_observer(self._on_l1_evict)
+
+    # ------------------------------------------------------------------
+    # per-cycle driver
+    # ------------------------------------------------------------------
+
+    def step(self):
+        """Advance the core by one cycle."""
+        self.ports.new_cycle()
+        self._complete()
+        self._process_txn_aborts()
+        self._retire()
+        self._dispatch()
+        self._fetch()
+        self.cycle += 1
+
+    def busy(self) -> bool:
+        """True while any context can still make progress."""
+        return any(not ctx.finished() for ctx in self.contexts)
+
+    # ------------------------------------------------------------------
+    # stage 1: completion / writeback
+    # ------------------------------------------------------------------
+
+    def _note_squash(self, context: HardwareContext, squashed,
+                     reason: str):
+        context.note_squashed(squashed)
+        if self.tracer is not None and squashed:
+            self.tracer.on_squash(self.cycle, squashed, reason)
+
+    def _schedule(self, entry: ROBEntry, latency: int):
+        entry.state = EntryState.EXECUTING
+        entry.issue_cycle = self.cycle
+        if self.tracer is not None:
+            self.tracer.on_issue(self.cycle, entry)
+        self._event_tiebreak += 1
+        heapq.heappush(self._events,
+                       (self.cycle + max(latency, 1), self._event_tiebreak,
+                        entry))
+
+    def _complete(self):
+        while self._events and self._events[0][0] <= self.cycle:
+            _, _, entry = heapq.heappop(self._events)
+            if entry.squashed:
+                continue
+            entry.state = EntryState.COMPLETED
+            entry.complete_cycle = self.cycle
+            if self.tracer is not None:
+                self.tracer.on_complete(self.cycle, entry)
+            if entry.mispredicted:
+                self._handle_mispredict(entry)
+            if entry.faulted and entry.instr.is_load \
+                    and self.pte_race_hooks:
+                self._try_pte_race(entry)
+            if entry.faulted:
+                continue  # no value; dependents stay asleep until squash
+            for dependent, slot in entry.dependents:
+                if dependent.squashed:
+                    continue
+                dependent.operands[slot] = entry.value
+                dependent.pending -= 1
+                if (dependent.pending == 0
+                        and dependent.state is EntryState.DISPATCHED):
+                    dependent.state = EntryState.READY
+                    self.contexts[dependent.context_id].ready.append(
+                        dependent)
+            entry.dependents.clear()
+
+    def _try_pte_race(self, entry: ROBEntry):
+        """Give a registered racer the chance to satisfy the walk the
+        instant it finishes (the OS set the present bit just before the
+        walker read the leaf entry — §7.2)."""
+        context = self.contexts[entry.context_id]
+        if not any(hook(context, entry) for hook in self.pte_race_hooks):
+            return
+        process = context.process
+        try:
+            paddr = process.page_tables.translate(entry.addr)
+        except Exception:
+            return  # racer claimed success but the page is still absent
+        entry.fault = None
+        entry.paddr = paddr
+        self.hierarchy.access(paddr)
+        entry.value = self._coerce_load_value(
+            entry.instr, self.phys.read(paddr, entry.instr.width))
+
+    def _handle_mispredict(self, entry: ROBEntry):
+        context = self.contexts[entry.context_id]
+        squashed = context.rob.squash_younger_than(entry.seq)
+        self._note_squash(context, squashed, "mispredict")
+        context.drop_squashed_ready()
+        context.rebuild_rename()
+        target = entry.value  # branch "value" is the correct next index
+        context.fetch_index = target
+        context.fetch_stall_until = (
+            self.cycle + self.config.mispredict_penalty)
+        if self.config.fence_on_flush:
+            context.serialize_next_fetch = True
+
+    # ------------------------------------------------------------------
+    # stage 2: transaction aborts
+    # ------------------------------------------------------------------
+
+    def _on_l1_evict(self, line_addr: int, dirty: bool):
+        for context in self.contexts:
+            txn = context.txn
+            if txn is not None and line_addr in txn.write_lines:
+                context.txn_abort_pending = "write-set-eviction"
+
+    def _process_txn_aborts(self):
+        for context in self.contexts:
+            if context.txn_abort_pending and context.in_transaction:
+                self._abort_transaction(context, context.txn_abort_pending)
+            context.txn_abort_pending = None
+
+    def _abort_transaction(self, context: HardwareContext, reason: str):
+        """Roll back to the TBEGIN checkpoint and jump to the fallback."""
+        txn = context.txn
+        squashed = context.rob.squash_younger_than(-1)
+        self._note_squash(context, squashed, f"txn-abort:{reason}")
+        context.drop_squashed_ready()
+        context.rebuild_rename()
+        context.restore_regs((txn.int_regs, txn.fp_regs))
+        context.txn = None
+        context.stats.txn_aborts += 1
+        # The fallback handler receives the abort count in r15, akin to
+        # the EAX abort code of real TSX.
+        context.int_regs["r15"] = context.stats.txn_aborts
+        context.fetch_index = txn.fallback_index
+        context.fetch_stall_until = self.cycle + self.config.squash_penalty
+        context.last_txn_abort_reason = reason
+
+    # ------------------------------------------------------------------
+    # stage 3: retire
+    # ------------------------------------------------------------------
+
+    def _retire(self):
+        for context in self.contexts:
+            if context.state is ContextState.BLOCKED:
+                if self.cycle >= context.blocked_until:
+                    context.state = ContextState.RUNNING
+                else:
+                    continue
+            if context.state is not ContextState.RUNNING:
+                continue
+            if context.pending_interrupt is not None:
+                self._take_interrupt(context)
+                continue
+            for _ in range(self.config.retire_width):
+                head = context.rob.head
+                if head is None or not head.completed:
+                    break
+                if head.faulted:
+                    self._fault_at_head(context, head)
+                    break
+                context.rob.pop_head()
+                self._apply_retire(context, head)
+                if context.state is not ContextState.RUNNING:
+                    break
+
+    def _apply_retire(self, context: HardwareContext, entry: ROBEntry):
+        instr = entry.instr
+        op = instr.op
+        dest = instr.dest()
+        if dest is not None and entry.value is not None:
+            context.write_reg(dest, entry.value)
+        if context.rename.get(dest) is entry:
+            del context.rename[dest]
+        if instr.is_store:
+            self._drain_store(context, entry)
+        elif op is Opcode.HALT:
+            context.state = ContextState.HALTED
+        elif op is Opcode.TBEGIN:
+            self._begin_transaction(context, entry)
+        elif op is Opcode.TEND:
+            self._commit_transaction(context)
+        elif op is Opcode.TABORT:
+            # Abort immediately: a same-cycle TEND must not win.
+            if context.in_transaction:
+                self._abort_transaction(context, "explicit-abort")
+        if entry.seq in context.fence_seqs:
+            context.fence_seqs.remove(entry.seq)
+        context.replay_candidates.discard(entry.index)
+        context.stats.retired += 1
+        if self.tracer is not None:
+            self.tracer.on_retire(self.cycle, entry)
+        for hook in self.retire_hooks:
+            hook(context, entry)
+
+    def _drain_store(self, context: HardwareContext, entry: ROBEntry):
+        if context.in_transaction:
+            txn = context.txn
+            txn.write_buffer.append(
+                (entry.addr, entry.paddr, entry.store_value,
+                 entry.instr.width))
+            txn.write_lines.add(line_of(entry.paddr))
+            # Write-set lines must stay resident in L1.
+            self.hierarchy.access(entry.paddr, is_write=True)
+        else:
+            self.hierarchy.access(entry.paddr, is_write=True)
+            self.phys.write(entry.paddr, entry.store_value,
+                            entry.instr.width)
+
+    def _begin_transaction(self, context: HardwareContext,
+                           entry: ROBEntry):
+        ints, fps = context.snapshot_regs()
+        fallback = context.program.target_index(entry.instr)
+        context.txn = TransactionState(
+            fallback_index=fallback, int_regs=ints, fp_regs=fps)
+
+    def _commit_transaction(self, context: HardwareContext):
+        txn = context.txn
+        if txn is None:
+            return  # tend outside a transaction: architectural no-op
+        for _va, paddr, value, width in txn.write_buffer:
+            self.phys.write(paddr, value, width)
+        context.txn = None
+
+    def _fault_at_head(self, context: HardwareContext, head: ROBEntry):
+        if context.in_transaction:
+            # Faults inside a transaction abort it; the OS never sees
+            # the fault (the T-SGX premise, and its blind spot).
+            self._abort_transaction(context, "page-fault")
+            return
+        fault = head.fault
+        squashed = context.rob.squash_younger_than(-1)
+        self._note_squash(context, squashed, "page-fault")
+        context.drop_squashed_ready()
+        context.rebuild_rename()
+        context.stats.faults += 1
+        action = self.trap_handler.handle_page_fault(context, fault)
+        if action.halt:
+            context.state = ContextState.HALTED
+            return
+        resume = (action.resume_index if action.resume_index is not None
+                  else head.index)
+        context.fetch_index = resume
+        context.fetch_stall_until = 0
+        context.state = ContextState.BLOCKED
+        context.blocked_until = (
+            self.cycle + action.cost + self.config.squash_penalty)
+        if self.config.fence_on_flush:
+            context.serialize_next_fetch = True
+
+    def _take_interrupt(self, context: HardwareContext):
+        reason = context.pending_interrupt
+        context.pending_interrupt = None
+        context.stats.interrupts += 1
+        if context.in_transaction:
+            # Interrupts abort transactions — indistinguishable from a
+            # fault abort, which is exactly T-SGX's Section 8 problem.
+            self._abort_transaction(context, "interrupt")
+            return
+        head = context.rob.head
+        resume = head.index if head is not None else context.fetch_index
+        squashed = context.rob.squash_younger_than(-1)
+        self._note_squash(context, squashed, f"interrupt:{reason}")
+        context.drop_squashed_ready()
+        context.rebuild_rename()
+        action = self.trap_handler.handle_interrupt(context, reason)
+        if action.halt:
+            context.state = ContextState.HALTED
+            return
+        context.fetch_index = (
+            action.resume_index if action.resume_index is not None
+            else resume)
+        context.fetch_stall_until = 0
+        context.state = ContextState.BLOCKED
+        context.blocked_until = (
+            self.cycle + action.cost + self.config.squash_penalty)
+
+    # ------------------------------------------------------------------
+    # stage 4: dispatch / execute
+    # ------------------------------------------------------------------
+
+    def _dispatch(self):
+        budget = self.config.issue_width
+        order = list(range(len(self.contexts)))
+        rotate = self.cycle % max(len(order), 1)
+        order = order[rotate:] + order[:rotate]
+        for context_id in order:
+            if budget <= 0:
+                break
+            context = self.contexts[context_id]
+            if not context.ready:
+                continue
+            context.ready.sort(key=lambda e: e.seq)
+            still_ready = []
+            for entry in context.ready:
+                if entry.squashed:
+                    continue
+                if budget <= 0 or not self._try_execute(context, entry):
+                    still_ready.append(entry)
+                else:
+                    budget -= 1
+            context.ready = still_ready
+
+    def _try_execute(self, context: HardwareContext,
+                     entry: ROBEntry) -> bool:
+        """Attempt to begin execution; return True when issued."""
+        fence_seq = context.oldest_fence_seq()
+        if fence_seq is not None:
+            if entry.seq > fence_seq:
+                return False  # serialised behind a fence
+            if entry.seq == fence_seq and not self._older_all_completed(
+                    context, entry.seq):
+                return False
+        op_cls = entry.op_cls
+        if entry.instr.is_load:
+            issued = self._execute_load(context, entry)
+            if issued:
+                for hook in self.issue_hooks:
+                    hook(context, entry)
+            return issued
+        latency = self._latency_for(entry)
+        port = self.ports.try_issue(self.cycle, op_cls, latency)
+        if port is None:
+            return False
+        entry.port_name = port.name
+        if entry.instr.is_store:
+            self._execute_store(context, entry, latency)
+        else:
+            self._execute_alu(context, entry, latency)
+        for hook in self.issue_hooks:
+            hook(context, entry)
+        return True
+
+    def _older_all_completed(self, context: HardwareContext,
+                             seq: int) -> bool:
+        return all(e.completed for e in context.rob.entries if e.seq < seq)
+
+    def _latency_for(self, entry: ROBEntry) -> int:
+        cfg = self.config
+        op = entry.instr.op
+        if op is Opcode.FDIV:
+            a, b = entry.operands
+            result_sub = False
+            try:
+                result_sub = _is_subnormal(float(a) / float(b))
+            except (ZeroDivisionError, TypeError, OverflowError):
+                pass
+            if (_is_subnormal(float(a or 0.0)) or _is_subnormal(float(b or 0.0))
+                    or result_sub):
+                return cfg.latency_of("fdiv_subnormal")
+            return cfg.latency_of("fdiv")
+        if op is Opcode.DIV:
+            return cfg.latency_of("div")
+        if op is Opcode.FMUL:
+            return cfg.latency_of("fmul")
+        if op is Opcode.MUL:
+            return cfg.latency_of("mul")
+        if op is Opcode.RDTSC:
+            return cfg.latency_of("rdtsc")
+        if op is Opcode.RDRAND:
+            return cfg.latency_of("rdrand")
+        if op in (Opcode.TBEGIN, Opcode.TEND, Opcode.TABORT):
+            return cfg.latency_of("tsx")
+        if op is Opcode.FENCE:
+            return cfg.latency_of("fence")
+        if entry.instr.is_store:
+            return cfg.latency_of("store")
+        return cfg.latency_of(entry.op_cls)
+
+    # --- ALU / branch / misc execution -----------------------------------
+
+    def _execute_alu(self, context: HardwareContext, entry: ROBEntry,
+                     latency: int):
+        instr = entry.instr
+        op = instr.op
+        a, b = entry.operands
+        value = None
+        if op is Opcode.LI or op is Opcode.FLI:
+            value = instr.imm
+        elif op in (Opcode.MOV, Opcode.FMOV):
+            value = a
+        elif op is Opcode.ADD:
+            value = (a + b) & MASK64
+        elif op is Opcode.SUB:
+            value = (a - b) & MASK64
+        elif op is Opcode.AND:
+            value = a & b
+        elif op is Opcode.OR:
+            value = a | b
+        elif op is Opcode.XOR:
+            value = a ^ b
+        elif op is Opcode.SHL:
+            value = (a << (b & 63)) & MASK64
+        elif op is Opcode.SHR:
+            value = (a & MASK64) >> (b & 63)
+        elif op is Opcode.ADDI:
+            value = (a + instr.imm) & MASK64
+        elif op is Opcode.SUBI:
+            value = (a - instr.imm) & MASK64
+        elif op is Opcode.ANDI:
+            value = a & instr.imm
+        elif op is Opcode.ORI:
+            value = a | instr.imm
+        elif op is Opcode.XORI:
+            value = a ^ instr.imm
+        elif op is Opcode.SHLI:
+            value = (a << (instr.imm & 63)) & MASK64
+        elif op is Opcode.SHRI:
+            value = (a & MASK64) >> (instr.imm & 63)
+        elif op is Opcode.MUL:
+            value = (a * b) & MASK64
+        elif op is Opcode.DIV:
+            value = (a // b) & MASK64 if b else 0
+        elif op is Opcode.FADD:
+            value = a + b
+        elif op is Opcode.FSUB:
+            value = a - b
+        elif op is Opcode.FMUL:
+            value = a * b
+        elif op is Opcode.FDIV:
+            try:
+                value = a / b
+            except ZeroDivisionError:
+                value = math.inf if a > 0 else -math.inf if a < 0 else 0.0
+        elif instr.is_branch:
+            self._execute_branch(context, entry)
+        elif op is Opcode.RDTSC:
+            value = self.cycle
+            if self.config.rdtsc_jitter:
+                value += self._jitter.randint(0, self.config.rdtsc_jitter)
+        elif op is Opcode.RDRAND:
+            value = self._rdrand.getrandbits(64)
+        elif op in (Opcode.NOP, Opcode.HALT, Opcode.FENCE, Opcode.TBEGIN,
+                    Opcode.TEND, Opcode.TABORT):
+            value = None
+        else:  # pragma: no cover - every opcode is handled above
+            raise NotImplementedError(f"unhandled opcode {op}")
+        if not instr.is_branch:
+            entry.value = value
+        self._schedule(entry, latency)
+
+    def _execute_branch(self, context: HardwareContext, entry: ROBEntry):
+        instr = entry.instr
+        program = context.program
+        if instr.op is Opcode.JMP:
+            entry.actual_taken = True
+            entry.value = program.target_index(instr)
+            entry.mispredicted = False
+            return
+        a = _to_signed(entry.operands[0])
+        b = _to_signed(entry.operands[1])
+        if instr.op is Opcode.BEQ:
+            taken = a == b
+        elif instr.op is Opcode.BNE:
+            taken = a != b
+        elif instr.op is Opcode.BLT:
+            taken = a < b
+        else:  # BGE
+            taken = a >= b
+        entry.actual_taken = taken
+        correct_next = (program.target_index(instr) if taken
+                        else entry.index + 1)
+        entry.value = correct_next
+        entry.mispredicted = (entry.predicted_taken is not None
+                              and entry.predicted_taken != taken)
+        self.predictor.update(entry.index, taken, entry.mispredicted)
+
+    # --- memory execution ---------------------------------------------------
+
+    def _translate(self, context: HardwareContext, entry: ROBEntry,
+                   va: int, is_write: bool) -> Tuple[Optional[int], int]:
+        """TLB lookup, falling back to a hardware page walk.  Returns
+        ``(paddr_or_None, latency)``; sets ``entry.fault`` on fault."""
+        process = context.process
+        if process is None:
+            # Bare-metal mode (no kernel): identity-map addresses.
+            return va, 1
+        vpn = vaddr.vpn(va)
+        tlb_entry, latency = self.tlbs.lookup(process.pcid, vpn)
+        if tlb_entry is not None:
+            return (tlb_entry.frame << vaddr.PAGE_SHIFT) | \
+                vaddr.page_offset(va), latency
+        walk = self.walker.walk(
+            process.pcid, process.root_frame, va, is_write=is_write,
+            pc=entry.index, context_id=context.context_id)
+        latency += walk.latency
+        entry.walk_latency = walk.latency
+        if walk.faulted:
+            entry.fault = walk.fault
+            return None, latency
+        self.tlbs.insert(process.pcid, vpn, walk.frame, walk.flags)
+        return (walk.frame << vaddr.PAGE_SHIFT) | vaddr.page_offset(va), \
+            latency
+
+    def _execute_load(self, context: HardwareContext,
+                      entry: ROBEntry) -> bool:
+        instr = entry.instr
+        va = (entry.operands[0] + instr.imm) & MASK64
+        entry.addr = va
+        # Store-buffer search: forward from the youngest older store
+        # with a matching resolved address.  Stores with unresolved (or
+        # faulted) addresses do NOT block the load — the LSU speculates
+        # no-alias, and _check_memory_order_violation squashes the load
+        # if the guess turns out wrong.  This optimism is what lets the
+        # Fig. 6 victim's secret load run ahead of the faulting
+        # counter-update store.
+        forwarded = False
+        forward_value = None
+        for store in context.rob.stores_older_than(entry.seq):
+            if store.addr_resolved and store.addr == va:
+                if store.instr.width == instr.width:
+                    forward_value = store.store_value
+                    forwarded = True
+                else:
+                    return False  # partial overlap: retry after retire
+        port = self.ports.try_issue(self.cycle, "load",
+                                    self.config.latency_of("alu"))
+        if port is None:
+            return False
+        entry.port_name = port.name
+        if forwarded:
+            entry.value = self._coerce_load_value(instr, forward_value)
+            self._schedule(entry, self.config.latency_of("forward"))
+            return True
+        # Transaction write-buffer forwarding (committed, buffered).
+        if context.in_transaction:
+            for buf_va, _paddr, value, width in reversed(
+                    context.txn.write_buffer):
+                if buf_va == va and width == instr.width:
+                    entry.value = self._coerce_load_value(instr, value)
+                    self._schedule(entry,
+                                   self.config.latency_of("forward"))
+                    return True
+        paddr, latency = self._translate(context, entry, va,
+                                         is_write=False)
+        if entry.fault is not None:
+            self._schedule(entry, latency)
+            return True
+        entry.paddr = paddr
+        latency += self.hierarchy.access(paddr)
+        if context.in_transaction:
+            context.txn.read_lines.add(line_of(paddr))
+        value = self.phys.read(paddr, instr.width)
+        entry.value = self._coerce_load_value(instr, value)
+        self._schedule(entry, latency)
+        return True
+
+    @staticmethod
+    def _coerce_load_value(instr: Instruction, value):
+        if instr.op is Opcode.FLOAD:
+            return float(value)
+        if isinstance(value, float):
+            return int(value) & MASK64
+        return value & MASK64
+
+    def _execute_store(self, context: HardwareContext, entry: ROBEntry,
+                       latency: int):
+        instr = entry.instr
+        va = (entry.operands[0] + instr.imm) & MASK64
+        entry.addr = va
+        entry.store_value = entry.operands[1]
+        paddr, translate_latency = self._translate(context, entry, va,
+                                                   is_write=True)
+        if entry.fault is None:
+            entry.paddr = paddr
+            entry.addr_resolved = True
+            self._check_memory_order_violation(context, entry)
+        self._schedule(entry, latency + translate_latency)
+
+    def _check_memory_order_violation(self, context: HardwareContext,
+                                      store: ROBEntry):
+        """A younger load already executed against the address this
+        store just resolved: the no-alias speculation was wrong.
+        Squash from the violating load and refetch."""
+        violating = None
+        for candidate in context.rob.entries:
+            if (candidate.seq > store.seq and candidate.instr.is_load
+                    and candidate.addr == store.addr
+                    and candidate.state in (EntryState.EXECUTING,
+                                            EntryState.COMPLETED)):
+                violating = candidate
+                break
+        if violating is None:
+            return
+        squashed = context.rob.squash_younger_than(violating.seq - 1)
+        self._note_squash(context, squashed, "memory-order")
+        context.drop_squashed_ready()
+        context.rebuild_rename()
+        context.fetch_index = violating.index
+        context.fetch_stall_until = self.cycle + self.config.squash_penalty
+        if self.config.fence_on_flush:
+            context.serialize_next_fetch = True
+
+    # ------------------------------------------------------------------
+    # stage 5: fetch / decode
+    # ------------------------------------------------------------------
+
+    def _fetch(self):
+        budget = self.config.fetch_width
+        order = list(range(len(self.contexts)))
+        rotate = (self.cycle + 1) % max(len(order), 1)
+        order = order[rotate:] + order[:rotate]
+        for context_id in order:
+            if budget <= 0:
+                break
+            context = self.contexts[context_id]
+            if context.state is not ContextState.RUNNING:
+                continue
+            if self.cycle < context.fetch_stall_until:
+                continue
+            while (budget > 0 and not context.rob.full
+                   and context.program is not None
+                   and context.fetch_index < len(context.program)):
+                stop = self._decode_one(context)
+                budget -= 1
+                if stop:
+                    break
+
+    def _decode_one(self, context: HardwareContext) -> bool:
+        """Decode one instruction into the ROB.  Returns True when the
+        front end should stop fetching this context this cycle."""
+        program = context.program
+        index = context.fetch_index
+        instr = program[index]
+        entry = ROBEntry(context.next_seq(), context.context_id, index,
+                         instr, op_class(instr))
+        if index in context.replay_candidates:
+            entry.is_replay = True
+            context.stats.replays += 1
+        context.stats.fetched += 1
+        if self.tracer is not None:
+            self.tracer.on_fetch(self.cycle, entry)
+        # Resolve source operands against the rename map / arch state.
+        for slot, src in enumerate((instr.rs1, instr.rs2)):
+            if src is None:
+                continue
+            producer = context.rename.get(src)
+            if producer is None:
+                entry.operands[slot] = context.read_reg(src)
+            elif producer.completed and not producer.faulted:
+                entry.operands[slot] = producer.value
+            else:
+                # In-flight (or faulted: never wakes) producer.
+                producer.dependents.append((entry, slot))
+                entry.pending += 1
+        dest = instr.dest()
+        if dest is not None:
+            context.rename[dest] = entry
+        # Control flow steering.
+        stop = False
+        if instr.op is Opcode.JMP:
+            context.fetch_index = program.target_index(instr)
+        elif instr.is_cond_branch:
+            predicted = self.predictor.predict(index)
+            entry.predicted_taken = predicted
+            context.fetch_index = (program.target_index(instr) if predicted
+                                   else index + 1)
+        elif instr.op is Opcode.HALT:
+            context.fetch_index = index + 1
+            # Stop fetching past the HALT; a squash/redirect resets the
+            # stall if the HALT turns out to be on a wrong path.
+            context.fetch_stall_until = float("inf")
+            stop = True
+        else:
+            context.fetch_index = index + 1
+        # Serialisation: fences, fenced RDRAND, and the fence-on-flush
+        # defense all gate younger execution until this entry retires.
+        serialize = instr.op is Opcode.FENCE
+        if instr.op is Opcode.RDRAND and self.config.rdrand_fenced:
+            serialize = True
+        if context.serialize_next_fetch:
+            serialize = True
+            context.serialize_next_fetch = False
+        if serialize:
+            context.fence_seqs.append(entry.seq)
+        context.rob.push(entry)
+        if entry.pending == 0:
+            entry.state = EntryState.READY
+            context.ready.append(entry)
+        return stop

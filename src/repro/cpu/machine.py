@@ -1,0 +1,83 @@
+"""The simulated machine: memory system + cores + a global clock.
+
+A :class:`Machine` wires one physical memory, one cache hierarchy, one
+TLB hierarchy and page walker, and one SMT core together (the paper's
+attack plays out on a single physical core; the Replayer runs as kernel
+code, not on its own core).  The kernel from :mod:`repro.kernel`
+attaches itself as the machine's trap handler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.cpu.config import CoreConfig
+from repro.cpu.core import Core
+from repro.cpu.traps import TrapHandler
+from repro.mem.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.mem.physical import PhysicalMemory
+from repro.vm.pwc import PageWalkCache, PWCConfig
+from repro.vm.tlb import TLBHierarchy, TLBHierarchyConfig
+from repro.vm.walker import PageWalker
+
+
+@dataclass
+class MachineConfig:
+    """Top-level configuration of the whole simulated platform."""
+
+    core: CoreConfig = field(default_factory=CoreConfig)
+    hierarchy: HierarchyConfig = field(default_factory=HierarchyConfig)
+    tlbs: TLBHierarchyConfig = field(default_factory=TLBHierarchyConfig)
+    pwc: PWCConfig = field(default_factory=PWCConfig)
+    #: Physical memory size in 4 KiB frames (default 256 MiB).
+    num_frames: int = 1 << 16
+
+
+class Machine:
+    """One simulated platform with a single SMT core."""
+
+    def __init__(self, config: Optional[MachineConfig] = None):
+        self.config = config or MachineConfig()
+        self.phys = PhysicalMemory(self.config.num_frames)
+        self.hierarchy = MemoryHierarchy(self.config.hierarchy)
+        self.tlbs = TLBHierarchy(self.config.tlbs)
+        self.pwc = PageWalkCache(self.config.pwc)
+        self.walker = PageWalker(self.phys, self.hierarchy, self.pwc)
+        self.core = Core(0, self.config.core, self.phys, self.hierarchy,
+                         self.tlbs, self.walker)
+
+    @property
+    def cycle(self) -> int:
+        return self.core.cycle
+
+    @property
+    def contexts(self):
+        return self.core.contexts
+
+    def set_trap_handler(self, handler: TrapHandler):
+        self.core.trap_handler = handler
+
+    def step(self, cycles: int = 1):
+        """Advance the machine by *cycles* cycles."""
+        for _ in range(cycles):
+            self.core.step()
+
+    def run(self, max_cycles: int = 1_000_000,
+            until: Optional[Callable[["Machine"], bool]] = None) -> int:
+        """Run until *until* returns True, all contexts finish, or the
+        cycle budget is exhausted.  Returns cycles executed."""
+        start = self.cycle
+        while self.cycle - start < max_cycles:
+            if until is not None and until(self):
+                break
+            if not self.core.busy():
+                break
+            self.core.step()
+        return self.cycle - start
+
+    def run_context_to_completion(self, context_id: int,
+                                  max_cycles: int = 1_000_000) -> int:
+        """Run until context *context_id* finishes."""
+        context = self.contexts[context_id]
+        return self.run(max_cycles, until=lambda _m: context.finished())

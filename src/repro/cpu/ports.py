@@ -1,0 +1,102 @@
+"""Execution ports and port arbitration.
+
+Ports are the *shared* structural resource of an SMT core: both
+hardware contexts dispatch into the same set, so a victim's divides
+delay a monitor's divides.  The divider (op class ``div``) is
+non-pipelined — it occupies its port for the instruction's full
+latency — which makes the contention signal of Section 4.3 large and
+reliable once MicroScope removes the alignment noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.cpu.config import PortConfig
+
+
+@dataclass
+class PortStats:
+    issued: int = 0
+    #: Cycles some dispatch wanted the port while it was held by a
+    #: non-pipelined operation.
+    contended: int = 0
+
+    def reset(self):
+        self.issued = self.contended = 0
+
+
+class Port:
+    """One execution port."""
+
+    def __init__(self, config: PortConfig, non_pipelined: FrozenSet[str]):
+        self.name = config.name
+        self.classes = config.classes
+        self._non_pipelined = non_pipelined
+        #: Cycle until which a non-pipelined op holds the port.
+        self.busy_until = 0
+        #: Whether an op was issued here this cycle (1 issue/port/cycle).
+        self._issued_this_cycle = False
+        self.stats = PortStats()
+
+    def accepts(self, op_cls: str) -> bool:
+        return op_cls in self.classes
+
+    def available(self, now: int, op_cls: str) -> bool:
+        """Can *op_cls* issue here at cycle *now*?"""
+        if not self.accepts(op_cls):
+            return False
+        if self._issued_this_cycle:
+            return False
+        if now < self.busy_until:
+            self.stats.contended += 1
+            return False
+        return True
+
+    def issue(self, now: int, op_cls: str, latency: int):
+        """Commit an issue; non-pipelined classes hold the port."""
+        self._issued_this_cycle = True
+        self.stats.issued += 1
+        if op_cls in self._non_pipelined:
+            self.busy_until = now + latency
+
+    def new_cycle(self):
+        self._issued_this_cycle = False
+
+
+class PortSet:
+    """All ports of one core, with simple oldest-first arbitration."""
+
+    def __init__(self, configs: Sequence[PortConfig],
+                 non_pipelined: FrozenSet[str]):
+        self.ports: List[Port] = [Port(c, non_pipelined) for c in configs]
+        self._by_class: Dict[str, List[Port]] = {}
+        for port in self.ports:
+            for cls in port.classes:
+                self._by_class.setdefault(cls, []).append(port)
+
+    def new_cycle(self):
+        for port in self.ports:
+            port.new_cycle()
+
+    def try_issue(self, now: int, op_cls: str, latency: int
+                  ) -> Optional[Port]:
+        """Issue an op of *op_cls* on the first available port, or
+        return ``None`` when every candidate port is busy."""
+        for port in self._by_class.get(op_cls, ()):
+            if port.available(now, op_cls):
+                port.issue(now, op_cls, latency)
+                return port
+        return None
+
+    def port_named(self, name: str) -> Port:
+        for port in self.ports:
+            if port.name == name:
+                return port
+        raise KeyError(f"no port named {name!r}")
+
+    def contention_report(self) -> Dict[str, Tuple[int, int]]:
+        """``{port: (issued, contended_cycles)}`` for diagnostics."""
+        return {p.name: (p.stats.issued, p.stats.contended)
+                for p in self.ports}

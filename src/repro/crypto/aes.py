@@ -1,0 +1,230 @@
+"""Table-based AES, mirroring the OpenSSL 0.9.8 implementation that
+Section 4.4 attacks.
+
+Supports AES-128/192/256 encryption and decryption.  The decryption
+path additionally offers an *instrumented* mode that records every
+Td-table access (round, statement, table, entry index, cache line) —
+the ground truth the MicroScope experiments validate their extracted
+traces against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.crypto.aes_tables import (
+    ENTRIES_PER_LINE,
+    inv_sbox,
+    line_of_entry,
+    sbox,
+    td_tables,
+    te_tables,
+)
+from repro.crypto.gf import gmul
+
+_RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36)
+
+#: Rounds per key size in bytes.
+_ROUNDS = {16: 10, 24: 12, 32: 14}
+
+
+class AESError(Exception):
+    """Raised on malformed keys or blocks."""
+
+
+def _check_block(block: bytes):
+    if len(block) != 16:
+        raise AESError(f"AES blocks are 16 bytes, got {len(block)}")
+
+
+def _bytes_to_words(data: bytes) -> List[int]:
+    return [int.from_bytes(data[i:i + 4], "big")
+            for i in range(0, len(data), 4)]
+
+
+def _words_to_bytes(words: Sequence[int]) -> bytes:
+    return b"".join(w.to_bytes(4, "big") for w in words)
+
+
+def _sub_word(word: int) -> int:
+    s = sbox()
+    return (s[(word >> 24) & 0xFF] << 24 | s[(word >> 16) & 0xFF] << 16
+            | s[(word >> 8) & 0xFF] << 8 | s[word & 0xFF])
+
+
+def _rot_word(word: int) -> int:
+    return ((word << 8) | (word >> 24)) & 0xFFFFFFFF
+
+
+def expand_key(key: bytes) -> List[int]:
+    """FIPS-197 key expansion; returns ``4 * (rounds + 1)`` words."""
+    if len(key) not in _ROUNDS:
+        raise AESError(f"AES keys are 16/24/32 bytes, got {len(key)}")
+    nk = len(key) // 4
+    rounds = _ROUNDS[len(key)]
+    words = _bytes_to_words(key)
+    for i in range(nk, 4 * (rounds + 1)):
+        temp = words[i - 1]
+        if i % nk == 0:
+            temp = _sub_word(_rot_word(temp)) ^ (_RCON[i // nk - 1] << 24)
+        elif nk > 6 and i % nk == 4:
+            temp = _sub_word(temp)
+        words.append(words[i - nk] ^ temp)
+    return words
+
+
+def _inv_mix_word(word: int) -> int:
+    a = [(word >> 24) & 0xFF, (word >> 16) & 0xFF,
+         (word >> 8) & 0xFF, word & 0xFF]
+    b0 = gmul(14, a[0]) ^ gmul(11, a[1]) ^ gmul(13, a[2]) ^ gmul(9, a[3])
+    b1 = gmul(9, a[0]) ^ gmul(14, a[1]) ^ gmul(11, a[2]) ^ gmul(13, a[3])
+    b2 = gmul(13, a[0]) ^ gmul(9, a[1]) ^ gmul(14, a[2]) ^ gmul(11, a[3])
+    b3 = gmul(11, a[0]) ^ gmul(13, a[1]) ^ gmul(9, a[2]) ^ gmul(14, a[3])
+    return (b0 << 24) | (b1 << 16) | (b2 << 8) | b3
+
+
+def expand_decrypt_key(key: bytes) -> List[int]:
+    """OpenSSL ``AES_set_decrypt_key``: reversed round order with
+    InvMixColumns folded into the middle round keys."""
+    rk = expand_key(key)
+    rounds = len(rk) // 4 - 1
+    inverted: List[int] = []
+    for i in range(rounds + 1):
+        inverted.extend(rk[4 * (rounds - i):4 * (rounds - i) + 4])
+    for i in range(4, 4 * rounds):
+        inverted[i] = _inv_mix_word(inverted[i])
+    return inverted
+
+
+def rounds_for_key(key: bytes) -> int:
+    try:
+        return _ROUNDS[len(key)]
+    except KeyError:
+        raise AESError(f"AES keys are 16/24/32 bytes, got {len(key)}")
+
+
+# --- encryption -------------------------------------------------------------
+
+def encrypt_block(key: bytes, plaintext: bytes) -> bytes:
+    """Encrypt one 16-byte block (Te-table implementation)."""
+    _check_block(plaintext)
+    rk = expand_key(key)
+    rounds = len(rk) // 4 - 1
+    te0, te1, te2, te3 = te_tables()
+    s = [w ^ rk[i] for i, w in enumerate(_bytes_to_words(plaintext))]
+    s0, s1, s2, s3 = s
+    for r in range(1, rounds):
+        k = 4 * r
+        t0 = (te0[s0 >> 24] ^ te1[(s1 >> 16) & 0xFF]
+              ^ te2[(s2 >> 8) & 0xFF] ^ te3[s3 & 0xFF] ^ rk[k])
+        t1 = (te0[s1 >> 24] ^ te1[(s2 >> 16) & 0xFF]
+              ^ te2[(s3 >> 8) & 0xFF] ^ te3[s0 & 0xFF] ^ rk[k + 1])
+        t2 = (te0[s2 >> 24] ^ te1[(s3 >> 16) & 0xFF]
+              ^ te2[(s0 >> 8) & 0xFF] ^ te3[s1 & 0xFF] ^ rk[k + 2])
+        t3 = (te0[s3 >> 24] ^ te1[(s0 >> 16) & 0xFF]
+              ^ te2[(s1 >> 8) & 0xFF] ^ te3[s2 & 0xFF] ^ rk[k + 3])
+        s0, s1, s2, s3 = t0, t1, t2, t3
+    s = sbox()
+    k = 4 * rounds
+    out = []
+    state = (s0, s1, s2, s3)
+    for i in range(4):
+        a, b, c, d = (state[i], state[(i + 1) % 4], state[(i + 2) % 4],
+                      state[(i + 3) % 4])
+        word = (s[a >> 24] << 24 | s[(b >> 16) & 0xFF] << 16
+                | s[(c >> 8) & 0xFF] << 8 | s[d & 0xFF]) ^ rk[k + i]
+        out.append(word)
+    return _words_to_bytes(out)
+
+
+# --- decryption -------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TableAccess:
+    """One Td-table lookup performed during decryption."""
+
+    round: int       # 1-based middle-round number
+    statement: int   # which t-word assignment (0..3): the figure's t0..t3
+    table: int       # 0..3 for Td0..Td3
+    index: int       # entry index 0..255
+
+    @property
+    def line(self) -> int:
+        """Cache line (0..15) the entry lives on."""
+        return line_of_entry(self.index)
+
+
+def decrypt_block(key: bytes, ciphertext: bytes) -> bytes:
+    """Decrypt one 16-byte block."""
+    plaintext, _trace = decrypt_block_traced(key, ciphertext, trace=False)
+    return plaintext
+
+
+def decrypt_block_traced(key: bytes, ciphertext: bytes, trace: bool = True
+                         ) -> Tuple[bytes, List[TableAccess]]:
+    """Decrypt and optionally record every Td table access.
+
+    The loop body below is a line-for-line analogue of the OpenSSL
+    0.9.8 code in Figure 8a of the paper.
+    """
+    _check_block(ciphertext)
+    rk = expand_decrypt_key(key)
+    rounds = len(rk) // 4 - 1
+    td0, td1, td2, td3 = td_tables()
+    accesses: List[TableAccess] = []
+
+    def look(table_id: int, table, index: int, round_no: int,
+             statement: int) -> int:
+        if trace:
+            accesses.append(TableAccess(round_no, statement, table_id,
+                                        index))
+        return table[index]
+
+    s = [w ^ rk[i] for i, w in enumerate(_bytes_to_words(ciphertext))]
+    s0, s1, s2, s3 = s
+    for r in range(1, rounds):
+        k = 4 * r
+        t0 = (look(0, td0, s0 >> 24, r, 0)
+              ^ look(1, td1, (s3 >> 16) & 0xFF, r, 0)
+              ^ look(2, td2, (s2 >> 8) & 0xFF, r, 0)
+              ^ look(3, td3, s1 & 0xFF, r, 0) ^ rk[k])
+        t1 = (look(0, td0, s1 >> 24, r, 1)
+              ^ look(1, td1, (s0 >> 16) & 0xFF, r, 1)
+              ^ look(2, td2, (s3 >> 8) & 0xFF, r, 1)
+              ^ look(3, td3, s2 & 0xFF, r, 1) ^ rk[k + 1])
+        t2 = (look(0, td0, s2 >> 24, r, 2)
+              ^ look(1, td1, (s1 >> 16) & 0xFF, r, 2)
+              ^ look(2, td2, (s0 >> 8) & 0xFF, r, 2)
+              ^ look(3, td3, s3 & 0xFF, r, 2) ^ rk[k + 2])
+        t3 = (look(0, td0, s3 >> 24, r, 3)
+              ^ look(1, td1, (s2 >> 16) & 0xFF, r, 3)
+              ^ look(2, td2, (s1 >> 8) & 0xFF, r, 3)
+              ^ look(3, td3, s0 & 0xFF, r, 3) ^ rk[k + 3])
+        s0, s1, s2, s3 = t0, t1, t2, t3
+    si = inv_sbox()
+    k = 4 * rounds
+    state = (s0, s1, s2, s3)
+    out = []
+    for i in range(4):
+        a = state[i]
+        b = state[(i - 1) % 4]
+        c = state[(i - 2) % 4]
+        d = state[(i - 3) % 4]
+        word = (si[a >> 24] << 24 | si[(b >> 16) & 0xFF] << 16
+                | si[(c >> 8) & 0xFF] << 8 | si[d & 0xFF]) ^ rk[k + i]
+        out.append(word)
+    return _words_to_bytes(out), accesses
+
+
+def first_round_accesses(key: bytes, ciphertext: bytes
+                         ) -> List[TableAccess]:
+    """Ground-truth accesses of middle round 1 only."""
+    _plain, accesses = decrypt_block_traced(key, ciphertext)
+    return [a for a in accesses if a.round == 1]
+
+
+def lines_touched(accesses: Sequence[TableAccess], table: int
+                  ) -> List[int]:
+    """Sorted distinct cache lines of *table* touched by *accesses*."""
+    return sorted({a.line for a in accesses if a.table == table})

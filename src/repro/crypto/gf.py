@@ -1,0 +1,46 @@
+"""GF(2^8) arithmetic for AES (Rijndael field, polynomial 0x11B)."""
+
+from __future__ import annotations
+
+AES_POLY = 0x11B
+
+
+def xtime(a: int) -> int:
+    """Multiply by x (i.e. 2) in GF(2^8)."""
+    a <<= 1
+    if a & 0x100:
+        a ^= AES_POLY
+    return a & 0xFF
+
+
+def gmul(a: int, b: int) -> int:
+    """Multiply two field elements."""
+    result = 0
+    a &= 0xFF
+    b &= 0xFF
+    while b:
+        if b & 1:
+            result ^= a
+        a = xtime(a)
+        b >>= 1
+    return result
+
+
+def gpow(a: int, exponent: int) -> int:
+    """Exponentiation by squaring in GF(2^8)."""
+    result = 1
+    base = a & 0xFF
+    while exponent:
+        if exponent & 1:
+            result = gmul(result, base)
+        base = gmul(base, base)
+        exponent >>= 1
+    return result
+
+
+def ginv(a: int) -> int:
+    """Multiplicative inverse (0 maps to 0, as AES defines)."""
+    if a == 0:
+        return 0
+    # The multiplicative group has order 255, so a^254 = a^-1.
+    return gpow(a, 254)

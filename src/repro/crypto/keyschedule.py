@@ -1,0 +1,41 @@
+"""Key-schedule analysis helpers.
+
+For AES-128, any single round key determines the master key: the
+schedule is invertible.  The AES attack extracts information about the
+*first decryption round key* (which equals the last encryption round
+key), and this module walks that information back to the master key —
+the final step of a full key-recovery pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.crypto.aes import _RCON, _bytes_to_words, _rot_word, _sub_word, _words_to_bytes
+from repro.crypto.aes import AESError
+
+
+def invert_aes128_schedule(last_round_key: bytes) -> bytes:
+    """Recover the AES-128 master key from round key 10.
+
+    The expansion recurrence ``w[i] = w[i-4] ^ f(w[i-1])`` is run
+    backwards: ``w[i-4] = w[i] ^ f(w[i-1])``.
+    """
+    if len(last_round_key) != 16:
+        raise AESError("round keys are 16 bytes")
+    words: List[int] = [0] * 44
+    words[40:44] = _bytes_to_words(last_round_key)
+    for i in range(39, -1, -1):
+        temp = words[i + 3]
+        if (i + 4) % 4 == 0:
+            temp = _sub_word(_rot_word(temp)) ^ (_RCON[(i + 4) // 4 - 1]
+                                                 << 24)
+        words[i] = words[i + 4] ^ temp
+    return _words_to_bytes(words[0:4])
+
+
+def round_key_words(expanded: Sequence[int], round_no: int) -> List[int]:
+    """The four words of round *round_no* from an expanded schedule."""
+    if not 0 <= 4 * round_no + 4 <= len(expanded):
+        raise AESError(f"round {round_no} outside schedule")
+    return list(expanded[4 * round_no:4 * round_no + 4])

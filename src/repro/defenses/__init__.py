@@ -1,0 +1,40 @@
+"""Section 8 countermeasures and their evaluation."""
+
+from repro.defenses.dejavu import (
+    DejaVuReport,
+    build_clock_program,
+    build_timed_victim,
+    evaluate_dejavu,
+)
+from repro.defenses.fences import FenceDefenseReport, evaluate_fence_on_flush
+from repro.defenses.pf_oblivious import (
+    ObliviousCFVictim,
+    PFObliviousReport,
+    evaluate_pf_obliviousness,
+    page_trace,
+    setup_oblivious_cf_victim,
+)
+from repro.defenses.tsgx import (
+    TSGX_THRESHOLD,
+    TSGXReport,
+    evaluate_tsgx,
+    wrap_with_tsgx,
+)
+
+__all__ = [
+    "DejaVuReport",
+    "build_clock_program",
+    "build_timed_victim",
+    "evaluate_dejavu",
+    "FenceDefenseReport",
+    "evaluate_fence_on_flush",
+    "ObliviousCFVictim",
+    "PFObliviousReport",
+    "evaluate_pf_obliviousness",
+    "page_trace",
+    "setup_oblivious_cf_victim",
+    "TSGX_THRESHOLD",
+    "TSGXReport",
+    "evaluate_tsgx",
+    "wrap_with_tsgx",
+]

@@ -1,0 +1,17 @@
+"""Micro-ISA: registers, instructions, programs and the assembler."""
+
+from repro.isa.instructions import Instruction, Opcode, INSTRUCTION_SIZE
+from repro.isa.program import Program, ProgramBuilder, ProgramError
+from repro.isa.assembler import AssemblerError, assemble, disassemble
+
+__all__ = [
+    "Instruction",
+    "Opcode",
+    "INSTRUCTION_SIZE",
+    "Program",
+    "ProgramBuilder",
+    "ProgramError",
+    "AssemblerError",
+    "assemble",
+    "disassemble",
+]

@@ -1,0 +1,215 @@
+"""Text assembler for the micro-ISA.
+
+The syntax mirrors :func:`repro.isa.instructions.format_instruction`, so
+``assemble(program.listing())`` round-trips.  Example::
+
+    ; compute 6 * 7
+        li   r1, 6
+        li   r2, 7
+        mul  r3, r1, r2
+    loop:
+        subi r3, r3, 1
+        bne  r3, r0, loop
+        halt
+
+Rules:
+
+* one instruction per line; blank lines are ignored
+* comments start with ``;`` or ``#`` and run to end of line
+* a line ending in ``:`` declares a label for the next instruction
+* memory operands use ``[base + offset]`` / ``[base - offset]`` /
+  ``[base]``; a ``.w`` suffix on the mnemonic selects 4-byte accesses
+* integer immediates accept decimal and ``0x`` hexadecimal
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.isa.instructions import (
+    COND_BRANCHES,
+    LOADS,
+    Opcode,
+    STORES,
+    THREE_REG_FP,
+    THREE_REG_INT,
+    TWO_REG_IMM_INT,
+)
+from repro.isa.instructions import Instruction
+from repro.isa.program import Program, ProgramBuilder, ProgramError
+
+
+class AssemblerError(Exception):
+    """Raised when assembly text cannot be parsed."""
+
+    def __init__(self, message: str, line_no: Optional[int] = None):
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+        self.line_no = line_no
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][\w.]*)\s*:\s*$")
+_MEM_RE = re.compile(
+    r"^\[\s*([A-Za-z_]\w*)\s*(?:([+-])\s*(0x[0-9a-fA-F]+|\d+)\s*)?\]$")
+_MNEMONICS = {op.value: op for op in Opcode}
+
+
+def _strip_comment(line: str) -> str:
+    for marker in (";", "#"):
+        pos = line.find(marker)
+        if pos != -1:
+            line = line[:pos]
+    return line.strip()
+
+
+def _split_operands(text: str) -> List[str]:
+    """Split an operand string on commas that sit outside brackets."""
+    operands, depth, current = [], 0, []
+    for char in text:
+        if char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+        if char == "," and depth == 0:
+            operands.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        operands.append(tail)
+    return operands
+
+
+def _parse_int(text: str, line_no: int) -> int:
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise AssemblerError(f"bad integer literal: {text!r}", line_no)
+
+
+def _parse_float(text: str, line_no: int) -> float:
+    try:
+        return float(text)
+    except ValueError:
+        raise AssemblerError(f"bad float literal: {text!r}", line_no)
+
+
+def _parse_mem_operand(text: str, line_no: int) -> Tuple[str, int]:
+    match = _MEM_RE.match(text)
+    if not match:
+        raise AssemblerError(f"bad memory operand: {text!r}", line_no)
+    base, sign, offset_text = match.groups()
+    offset = _parse_int(offset_text, line_no) if offset_text else 0
+    if sign == "-":
+        offset = -offset
+    return base, offset
+
+
+def _expect(operands: List[str], count: int, mnemonic: str, line_no: int):
+    if len(operands) != count:
+        raise AssemblerError(
+            f"{mnemonic} expects {count} operand(s), got {len(operands)}",
+            line_no)
+
+
+def _parse_instruction(mnemonic: str, operands: List[str],
+                       line_no: int) -> Instruction:
+    from repro.isa import instructions as ins
+
+    width = 8
+    if mnemonic.endswith(".w"):
+        width = 4
+        mnemonic = mnemonic[:-2]
+    op = _MNEMONICS.get(mnemonic)
+    if op is None:
+        raise AssemblerError(f"unknown mnemonic: {mnemonic!r}", line_no)
+    if width == 4 and op not in LOADS | STORES:
+        raise AssemblerError(
+            f"width suffix only valid on memory ops: {mnemonic!r}", line_no)
+
+    try:
+        if op is Opcode.LI:
+            _expect(operands, 2, mnemonic, line_no)
+            return ins.li(operands[0], _parse_int(operands[1], line_no))
+        if op is Opcode.FLI:
+            _expect(operands, 2, mnemonic, line_no)
+            return ins.fli(operands[0], _parse_float(operands[1], line_no))
+        if op is Opcode.MOV:
+            _expect(operands, 2, mnemonic, line_no)
+            return ins.mov(operands[0], operands[1])
+        if op is Opcode.FMOV:
+            _expect(operands, 2, mnemonic, line_no)
+            return ins.fmov(operands[0], operands[1])
+        if op in THREE_REG_INT or op in THREE_REG_FP:
+            _expect(operands, 3, mnemonic, line_no)
+            ctor = getattr(ins, mnemonic if mnemonic not in ("and", "or")
+                           else mnemonic + "_")
+            return ctor(operands[0], operands[1], operands[2])
+        if op in TWO_REG_IMM_INT:
+            _expect(operands, 3, mnemonic, line_no)
+            ctor = getattr(ins, mnemonic)
+            return ctor(operands[0], operands[1],
+                        _parse_int(operands[2], line_no))
+        if op in LOADS:
+            _expect(operands, 2, mnemonic, line_no)
+            base, offset = _parse_mem_operand(operands[1], line_no)
+            ctor = ins.load if op is Opcode.LOAD else ins.fload
+            return ctor(operands[0], base, offset, width)
+        if op in STORES:
+            _expect(operands, 2, mnemonic, line_no)
+            base, offset = _parse_mem_operand(operands[0], line_no)
+            ctor = ins.store if op is Opcode.STORE else ins.fstore
+            return ctor(base, operands[1], offset, width)
+        if op in COND_BRANCHES:
+            _expect(operands, 3, mnemonic, line_no)
+            ctor = getattr(ins, mnemonic)
+            return ctor(operands[0], operands[1], operands[2])
+        if op is Opcode.JMP:
+            _expect(operands, 1, mnemonic, line_no)
+            return ins.jmp(operands[0])
+        if op is Opcode.TBEGIN:
+            _expect(operands, 1, mnemonic, line_no)
+            return ins.tbegin(operands[0])
+        if op in (Opcode.RDTSC, Opcode.RDRAND):
+            _expect(operands, 1, mnemonic, line_no)
+            ctor = ins.rdtsc if op is Opcode.RDTSC else ins.rdrand
+            return ctor(operands[0])
+        if op in (Opcode.HALT, Opcode.NOP, Opcode.FENCE, Opcode.TEND,
+                  Opcode.TABORT):
+            _expect(operands, 0, mnemonic, line_no)
+            return Instruction(op)
+    except ValueError as exc:  # register-class validation failures
+        raise AssemblerError(str(exc), line_no) from exc
+    raise AssemblerError(f"unhandled mnemonic: {mnemonic!r}", line_no)
+
+
+def assemble(source: str, name: str = "assembled") -> Program:
+    """Assemble *source* text into a :class:`Program`."""
+    builder = ProgramBuilder(name)
+    for line_no, raw_line in enumerate(source.splitlines(), start=1):
+        line = _strip_comment(raw_line)
+        if not line:
+            continue
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            try:
+                builder.label(label_match.group(1))
+            except ProgramError as exc:
+                raise AssemblerError(str(exc), line_no) from exc
+            continue
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operands = _split_operands(parts[1]) if len(parts) > 1 else []
+        builder.emit(_parse_instruction(mnemonic, operands, line_no))
+    try:
+        return builder.build()
+    except ProgramError as exc:
+        raise AssemblerError(str(exc)) from exc
+
+
+def disassemble(program: Program) -> str:
+    """Render *program* back to assembler text (see ``Program.listing``)."""
+    return program.listing()

@@ -1,0 +1,432 @@
+"""Instruction set of the micro-ISA.
+
+The ISA is deliberately small but covers everything the MicroScope
+reproduction needs:
+
+* integer ALU operations (including multiply and divide, which bind to
+  distinct execution ports so port contention is observable),
+* floating-point arithmetic (``fdiv`` models the non-pipelined divider
+  and the subnormal-input latency penalty of Andrysco et al.),
+* loads and stores of 4- or 8-byte words (the memory instructions that
+  serve as replay handles and pivots),
+* conditional branches and jumps (control-flow secrets),
+* ``rdtsc`` (reads the cycle counter — the Monitor's measurement
+  primitive), ``rdrand`` (the non-deterministic instruction targeted by
+  the Section 7.2 integrity attack), ``fence``,
+* TSX-style transactions (``tbegin``/``tend``/``tabort``) used by the
+  Section 7.1 alternative replay handles and the T-SGX defense.
+
+Instructions occupy 4 bytes of virtual code space each, so every
+instruction has a well-defined program-counter address.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.isa import registers
+
+#: Size in bytes of one encoded instruction in the virtual code segment.
+INSTRUCTION_SIZE = 4
+
+
+class Opcode(enum.Enum):
+    """All opcodes understood by the core."""
+
+    # Integer ALU
+    LI = "li"          # rd <- imm
+    MOV = "mov"        # rd <- rs1
+    ADD = "add"        # rd <- rs1 + rs2
+    SUB = "sub"        # rd <- rs1 - rs2
+    AND = "and"        # rd <- rs1 & rs2
+    OR = "or"          # rd <- rs1 | rs2
+    XOR = "xor"        # rd <- rs1 ^ rs2
+    SHL = "shl"        # rd <- rs1 << rs2
+    SHR = "shr"        # rd <- rs1 >> rs2
+    ADDI = "addi"      # rd <- rs1 + imm
+    SUBI = "subi"      # rd <- rs1 - imm
+    ANDI = "andi"      # rd <- rs1 & imm
+    ORI = "ori"        # rd <- rs1 | imm
+    XORI = "xori"      # rd <- rs1 ^ imm
+    SHLI = "shli"      # rd <- rs1 << imm
+    SHRI = "shri"      # rd <- rs1 >> imm
+    MUL = "mul"        # rd <- rs1 * rs2      (multiply port)
+    DIV = "div"        # rd <- rs1 // rs2     (non-pipelined divider)
+
+    # Floating point
+    FLI = "fli"        # fd <- imm (float literal)
+    FMOV = "fmov"      # fd <- fs1
+    FADD = "fadd"      # fd <- fs1 + fs2
+    FSUB = "fsub"      # fd <- fs1 - fs2
+    FMUL = "fmul"      # fd <- fs1 * fs2      (multiply port)
+    FDIV = "fdiv"      # fd <- fs1 / fs2      (non-pipelined divider)
+
+    # Memory
+    LOAD = "load"      # rd <- mem[rs1 + imm]
+    STORE = "store"    # mem[rs1 + imm] <- rs2
+    FLOAD = "fload"    # fd <- mem[rs1 + imm]
+    FSTORE = "fstore"  # mem[rs1 + imm] <- fs2
+
+    # Control flow
+    BEQ = "beq"        # if rs1 == rs2 goto target
+    BNE = "bne"        # if rs1 != rs2 goto target
+    BLT = "blt"        # if rs1 <  rs2 goto target
+    BGE = "bge"        # if rs1 >= rs2 goto target
+    JMP = "jmp"        # goto target
+    HALT = "halt"      # stop the hardware context
+
+    # Miscellaneous
+    NOP = "nop"
+    RDTSC = "rdtsc"    # rd <- current cycle count
+    RDRAND = "rdrand"  # rd <- hardware random number
+    FENCE = "fence"    # serialise: younger instructions wait for retire
+
+    # Transactional memory (TSX-style)
+    TBEGIN = "tbegin"  # begin transaction; on abort jump to target
+    TEND = "tend"      # commit transaction
+    TABORT = "tabort"  # explicitly abort the enclosing transaction
+
+
+# --- Opcode classification sets -------------------------------------------
+
+THREE_REG_INT = frozenset({
+    Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR,
+    Opcode.SHL, Opcode.SHR, Opcode.MUL, Opcode.DIV,
+})
+TWO_REG_IMM_INT = frozenset({
+    Opcode.ADDI, Opcode.SUBI, Opcode.ANDI, Opcode.ORI, Opcode.XORI,
+    Opcode.SHLI, Opcode.SHRI,
+})
+THREE_REG_FP = frozenset({Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV})
+LOADS = frozenset({Opcode.LOAD, Opcode.FLOAD})
+STORES = frozenset({Opcode.STORE, Opcode.FSTORE})
+MEMORY_OPS = LOADS | STORES
+COND_BRANCHES = frozenset({Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE})
+BRANCHES = COND_BRANCHES | frozenset({Opcode.JMP})
+SERIALIZING = frozenset({Opcode.FENCE})
+TRANSACTIONAL = frozenset({Opcode.TBEGIN, Opcode.TEND, Opcode.TABORT})
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded micro-ISA instruction.
+
+    Field usage by class:
+
+    * ALU three-register: ``rd``, ``rs1``, ``rs2``
+    * ALU register-immediate: ``rd``, ``rs1``, ``imm``
+    * ``li``/``fli``: ``rd``, ``imm``
+    * loads: ``rd``, ``rs1`` (base), ``imm`` (offset), ``width``
+    * stores: ``rs1`` (base), ``rs2`` (value source), ``imm``, ``width``
+    * conditional branches: ``rs1``, ``rs2``, ``target`` (label)
+    * ``jmp``/``tbegin``: ``target``
+    """
+
+    op: Opcode
+    rd: Optional[str] = None
+    rs1: Optional[str] = None
+    rs2: Optional[str] = None
+    imm: Optional[object] = None
+    target: Optional[str] = None
+    width: int = 8
+    #: Free-form annotation, e.g. ``"replay-handle"`` or ``"transmit"``.
+    comment: str = field(default="", compare=False)
+
+    def sources(self) -> Tuple[str, ...]:
+        """Registers read by this instruction."""
+        regs = []
+        if self.rs1 is not None:
+            regs.append(self.rs1)
+        if self.rs2 is not None:
+            regs.append(self.rs2)
+        return tuple(regs)
+
+    def dest(self) -> Optional[str]:
+        """Register written by this instruction, if any."""
+        return self.rd
+
+    @property
+    def is_load(self) -> bool:
+        return self.op in LOADS
+
+    @property
+    def is_store(self) -> bool:
+        return self.op in STORES
+
+    @property
+    def is_memory(self) -> bool:
+        return self.op in MEMORY_OPS
+
+    @property
+    def is_branch(self) -> bool:
+        return self.op in BRANCHES
+
+    @property
+    def is_cond_branch(self) -> bool:
+        return self.op in COND_BRANCHES
+
+    def __str__(self) -> str:
+        return format_instruction(self)
+
+
+def _check_width(width: int) -> int:
+    if width not in (4, 8):
+        raise ValueError(f"memory access width must be 4 or 8, got {width}")
+    return width
+
+
+# --- Constructors -----------------------------------------------------------
+#
+# Each constructor validates register classes so malformed programs are
+# rejected at build time rather than mid-simulation.
+
+def li(rd: str, imm: int, comment: str = "") -> Instruction:
+    return Instruction(Opcode.LI, rd=registers.check_int_reg(rd),
+                       imm=int(imm), comment=comment)
+
+
+def fli(fd: str, imm: float, comment: str = "") -> Instruction:
+    return Instruction(Opcode.FLI, rd=registers.check_fp_reg(fd),
+                       imm=float(imm), comment=comment)
+
+
+def mov(rd: str, rs1: str, comment: str = "") -> Instruction:
+    return Instruction(Opcode.MOV, rd=registers.check_int_reg(rd),
+                       rs1=registers.check_int_reg(rs1), comment=comment)
+
+
+def fmov(fd: str, fs1: str, comment: str = "") -> Instruction:
+    return Instruction(Opcode.FMOV, rd=registers.check_fp_reg(fd),
+                       rs1=registers.check_fp_reg(fs1), comment=comment)
+
+
+def _three_reg_int(op: Opcode, rd: str, rs1: str, rs2: str,
+                   comment: str) -> Instruction:
+    return Instruction(op, rd=registers.check_int_reg(rd),
+                       rs1=registers.check_int_reg(rs1),
+                       rs2=registers.check_int_reg(rs2), comment=comment)
+
+
+def add(rd, rs1, rs2, comment=""):
+    return _three_reg_int(Opcode.ADD, rd, rs1, rs2, comment)
+
+
+def sub(rd, rs1, rs2, comment=""):
+    return _three_reg_int(Opcode.SUB, rd, rs1, rs2, comment)
+
+
+def and_(rd, rs1, rs2, comment=""):
+    return _three_reg_int(Opcode.AND, rd, rs1, rs2, comment)
+
+
+def or_(rd, rs1, rs2, comment=""):
+    return _three_reg_int(Opcode.OR, rd, rs1, rs2, comment)
+
+
+def xor(rd, rs1, rs2, comment=""):
+    return _three_reg_int(Opcode.XOR, rd, rs1, rs2, comment)
+
+
+def shl(rd, rs1, rs2, comment=""):
+    return _three_reg_int(Opcode.SHL, rd, rs1, rs2, comment)
+
+
+def shr(rd, rs1, rs2, comment=""):
+    return _three_reg_int(Opcode.SHR, rd, rs1, rs2, comment)
+
+
+def mul(rd, rs1, rs2, comment=""):
+    return _three_reg_int(Opcode.MUL, rd, rs1, rs2, comment)
+
+
+def div(rd, rs1, rs2, comment=""):
+    return _three_reg_int(Opcode.DIV, rd, rs1, rs2, comment)
+
+
+def _reg_imm_int(op: Opcode, rd: str, rs1: str, imm: int,
+                 comment: str) -> Instruction:
+    return Instruction(op, rd=registers.check_int_reg(rd),
+                       rs1=registers.check_int_reg(rs1), imm=int(imm),
+                       comment=comment)
+
+
+def addi(rd, rs1, imm, comment=""):
+    return _reg_imm_int(Opcode.ADDI, rd, rs1, imm, comment)
+
+
+def subi(rd, rs1, imm, comment=""):
+    return _reg_imm_int(Opcode.SUBI, rd, rs1, imm, comment)
+
+
+def andi(rd, rs1, imm, comment=""):
+    return _reg_imm_int(Opcode.ANDI, rd, rs1, imm, comment)
+
+
+def ori(rd, rs1, imm, comment=""):
+    return _reg_imm_int(Opcode.ORI, rd, rs1, imm, comment)
+
+
+def xori(rd, rs1, imm, comment=""):
+    return _reg_imm_int(Opcode.XORI, rd, rs1, imm, comment)
+
+
+def shli(rd, rs1, imm, comment=""):
+    return _reg_imm_int(Opcode.SHLI, rd, rs1, imm, comment)
+
+
+def shri(rd, rs1, imm, comment=""):
+    return _reg_imm_int(Opcode.SHRI, rd, rs1, imm, comment)
+
+
+def _three_reg_fp(op: Opcode, fd: str, fs1: str, fs2: str,
+                  comment: str) -> Instruction:
+    return Instruction(op, rd=registers.check_fp_reg(fd),
+                       rs1=registers.check_fp_reg(fs1),
+                       rs2=registers.check_fp_reg(fs2), comment=comment)
+
+
+def fadd(fd, fs1, fs2, comment=""):
+    return _three_reg_fp(Opcode.FADD, fd, fs1, fs2, comment)
+
+
+def fsub(fd, fs1, fs2, comment=""):
+    return _three_reg_fp(Opcode.FSUB, fd, fs1, fs2, comment)
+
+
+def fmul(fd, fs1, fs2, comment=""):
+    return _three_reg_fp(Opcode.FMUL, fd, fs1, fs2, comment)
+
+
+def fdiv(fd, fs1, fs2, comment=""):
+    return _three_reg_fp(Opcode.FDIV, fd, fs1, fs2, comment)
+
+
+def load(rd: str, base: str, offset: int = 0, width: int = 8,
+         comment: str = "") -> Instruction:
+    return Instruction(Opcode.LOAD, rd=registers.check_int_reg(rd),
+                       rs1=registers.check_int_reg(base), imm=int(offset),
+                       width=_check_width(width), comment=comment)
+
+
+def store(base: str, src: str, offset: int = 0, width: int = 8,
+          comment: str = "") -> Instruction:
+    return Instruction(Opcode.STORE, rs1=registers.check_int_reg(base),
+                       rs2=registers.check_int_reg(src), imm=int(offset),
+                       width=_check_width(width), comment=comment)
+
+
+def fload(fd: str, base: str, offset: int = 0, width: int = 8,
+          comment: str = "") -> Instruction:
+    return Instruction(Opcode.FLOAD, rd=registers.check_fp_reg(fd),
+                       rs1=registers.check_int_reg(base), imm=int(offset),
+                       width=_check_width(width), comment=comment)
+
+
+def fstore(base: str, src: str, offset: int = 0, width: int = 8,
+           comment: str = "") -> Instruction:
+    return Instruction(Opcode.FSTORE, rs1=registers.check_int_reg(base),
+                       rs2=registers.check_fp_reg(src), imm=int(offset),
+                       width=_check_width(width), comment=comment)
+
+
+def _cond_branch(op: Opcode, rs1: str, rs2: str, target: str,
+                 comment: str) -> Instruction:
+    return Instruction(op, rs1=registers.check_int_reg(rs1),
+                       rs2=registers.check_int_reg(rs2), target=str(target),
+                       comment=comment)
+
+
+def beq(rs1, rs2, target, comment=""):
+    return _cond_branch(Opcode.BEQ, rs1, rs2, target, comment)
+
+
+def bne(rs1, rs2, target, comment=""):
+    return _cond_branch(Opcode.BNE, rs1, rs2, target, comment)
+
+
+def blt(rs1, rs2, target, comment=""):
+    return _cond_branch(Opcode.BLT, rs1, rs2, target, comment)
+
+
+def bge(rs1, rs2, target, comment=""):
+    return _cond_branch(Opcode.BGE, rs1, rs2, target, comment)
+
+
+def jmp(target: str, comment: str = "") -> Instruction:
+    return Instruction(Opcode.JMP, target=str(target), comment=comment)
+
+
+def halt(comment: str = "") -> Instruction:
+    return Instruction(Opcode.HALT, comment=comment)
+
+
+def nop(comment: str = "") -> Instruction:
+    return Instruction(Opcode.NOP, comment=comment)
+
+
+def rdtsc(rd: str, comment: str = "") -> Instruction:
+    return Instruction(Opcode.RDTSC, rd=registers.check_int_reg(rd),
+                       comment=comment)
+
+
+def rdrand(rd: str, comment: str = "") -> Instruction:
+    return Instruction(Opcode.RDRAND, rd=registers.check_int_reg(rd),
+                       comment=comment)
+
+
+def fence(comment: str = "") -> Instruction:
+    return Instruction(Opcode.FENCE, comment=comment)
+
+
+def tbegin(fallback: str, comment: str = "") -> Instruction:
+    return Instruction(Opcode.TBEGIN, target=str(fallback), comment=comment)
+
+
+def tend(comment: str = "") -> Instruction:
+    return Instruction(Opcode.TEND, comment=comment)
+
+
+def tabort(comment: str = "") -> Instruction:
+    return Instruction(Opcode.TABORT, comment=comment)
+
+
+# --- Formatting -------------------------------------------------------------
+
+def _mem_operand(instr: Instruction) -> str:
+    """Render ``base + offset`` / ``base - offset`` for memory ops."""
+    offset = instr.imm or 0
+    sign = "-" if offset < 0 else "+"
+    return f"{instr.rs1} {sign} {abs(offset)}"
+
+
+def format_instruction(instr: Instruction) -> str:
+    """Render *instr* in assembler syntax (inverse of the parser)."""
+    op = instr.op
+    name = op.value
+    if op in (Opcode.LI, Opcode.FLI):
+        body = f"{name} {instr.rd}, {instr.imm}"
+    elif op in (Opcode.MOV, Opcode.FMOV):
+        body = f"{name} {instr.rd}, {instr.rs1}"
+    elif op in THREE_REG_INT or op in THREE_REG_FP:
+        body = f"{name} {instr.rd}, {instr.rs1}, {instr.rs2}"
+    elif op in TWO_REG_IMM_INT:
+        body = f"{name} {instr.rd}, {instr.rs1}, {instr.imm}"
+    elif op in LOADS:
+        suffix = ".w" if instr.width == 4 else ""
+        body = f"{name}{suffix} {instr.rd}, [{_mem_operand(instr)}]"
+    elif op in STORES:
+        suffix = ".w" if instr.width == 4 else ""
+        body = f"{name}{suffix} [{_mem_operand(instr)}], {instr.rs2}"
+    elif op in COND_BRANCHES:
+        body = f"{name} {instr.rs1}, {instr.rs2}, {instr.target}"
+    elif op in (Opcode.JMP, Opcode.TBEGIN):
+        body = f"{name} {instr.target}"
+    elif op in (Opcode.RDTSC, Opcode.RDRAND):
+        body = f"{name} {instr.rd}"
+    else:
+        body = name
+    if instr.comment:
+        body = f"{body}  ; {instr.comment}"
+    return body

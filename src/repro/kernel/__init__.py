@@ -1,0 +1,34 @@
+"""Kernel substrate: frames, processes, traps and shared memory."""
+
+from repro.kernel.frames import FrameAllocator, OutOfMemoryError
+from repro.kernel.kernel import Kernel, KernelConfig, KernelStats
+from repro.kernel.process import CODE_BASE, DATA_BASE, Process, ProcessError, VMA
+from repro.kernel.shm import (
+    CTRL_WORD,
+    DATA_WORD,
+    MONITOR_QUIT,
+    MONITOR_START,
+    MONITOR_STOP,
+    STATUS_WORD,
+    SharedChannel,
+)
+
+__all__ = [
+    "FrameAllocator",
+    "OutOfMemoryError",
+    "Kernel",
+    "KernelConfig",
+    "KernelStats",
+    "CODE_BASE",
+    "DATA_BASE",
+    "Process",
+    "ProcessError",
+    "VMA",
+    "CTRL_WORD",
+    "DATA_WORD",
+    "MONITOR_QUIT",
+    "MONITOR_START",
+    "MONITOR_STOP",
+    "STATUS_WORD",
+    "SharedChannel",
+]

@@ -1,0 +1,53 @@
+"""Physical frame allocator.
+
+A simple free-list allocator over the machine's physical frames.  The
+first frames are reserved for the kernel image (never handed out), as
+on a real system.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+
+class OutOfMemoryError(Exception):
+    """No physical frames left."""
+
+
+class FrameAllocator:
+    """First-fit allocator over ``[reserved, num_frames)``."""
+
+    def __init__(self, num_frames: int, reserved: int = 16):
+        if reserved >= num_frames:
+            raise ValueError("reserved frames exceed physical memory")
+        self.num_frames = num_frames
+        self.reserved = reserved
+        self._next = reserved
+        self._free: List[int] = []
+        self._allocated: Set[int] = set()
+
+    def allocate(self) -> int:
+        """Return a free frame number."""
+        if self._free:
+            frame = self._free.pop()
+        elif self._next < self.num_frames:
+            frame = self._next
+            self._next += 1
+        else:
+            raise OutOfMemoryError("physical memory exhausted")
+        self._allocated.add(frame)
+        return frame
+
+    def free(self, frame: int):
+        """Return *frame* to the pool."""
+        if frame not in self._allocated:
+            raise ValueError(f"double free of frame {frame}")
+        self._allocated.remove(frame)
+        self._free.append(frame)
+
+    @property
+    def allocated_count(self) -> int:
+        return len(self._allocated)
+
+    def is_allocated(self, frame: int) -> bool:
+        return frame in self._allocated

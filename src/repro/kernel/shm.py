@@ -1,0 +1,79 @@
+"""Shared memory and signalling between processes.
+
+The MicroScope module "can communicate through shared memory or
+signals with the Monitor that runs concurrently with the Victim"
+(§5.2.2).  :class:`SharedChannel` maps the same physical frame into two
+address spaces and layers a tiny word-based mailbox on top: the kernel
+side writes control words directly (debug port), the user side polls
+them with ordinary loads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.kernel.process import Process
+from repro.vm import address as vaddr
+from repro.vm.pagetable import PTE_PRESENT, PTE_USER, PTE_WRITABLE
+
+#: Well-known mailbox word offsets within the shared page.
+CTRL_WORD = 0          # Replayer -> Monitor control (start/stop)
+STATUS_WORD = 8        # Monitor -> Replayer status
+DATA_WORD = 16         # free-form payload
+
+#: Control values.
+MONITOR_STOP = 0
+MONITOR_START = 1
+MONITOR_QUIT = 2
+
+
+class SharedChannel:
+    """One shared 4 KiB page mapped into one or more processes."""
+
+    def __init__(self, kernel, name: str = "shm"):
+        self.kernel = kernel
+        self.name = name
+        self.frame = kernel.frames.allocate()
+        kernel.machine.phys.zero_frame(self.frame)
+        #: Per-process base virtual address of the mapping.
+        self.mappings: Dict[int, int] = {}
+
+    def map_into(self, process: Process) -> int:
+        """Map the shared frame into *process*; return the base VA."""
+        base = process.alloc(vaddr.PAGE_SIZE,
+                             name=f"{self.name}:{process.name}",
+                             populate=False)
+        process.page_tables.map(
+            base, self.frame, PTE_PRESENT | PTE_WRITABLE | PTE_USER)
+        process.page_frames[vaddr.vpn(base)] = self.frame
+        self.mappings[process.pid] = base
+        return base
+
+    def va_for(self, process: Process) -> int:
+        try:
+            return self.mappings[process.pid]
+        except KeyError:
+            raise KeyError(
+                f"{self.name} not mapped into {process.name}") from None
+
+    # --- kernel-side (Replayer) access: direct physical writes ---------
+
+    def _paddr(self, offset: int) -> int:
+        if not 0 <= offset < vaddr.PAGE_SIZE:
+            raise ValueError(f"offset outside shared page: {offset}")
+        return (self.frame << vaddr.PAGE_SHIFT) + offset
+
+    def kernel_write(self, offset: int, value: int):
+        self.kernel.machine.phys.write(self._paddr(offset), value, 8)
+
+    def kernel_read(self, offset: int) -> int:
+        return self.kernel.machine.phys.read(self._paddr(offset), 8)
+
+    # --- mailbox conveniences ---------------------------------------------
+
+    def signal_monitor(self, command: int):
+        """Replayer -> Monitor: start/stop/quit (§5.2.2 signalling)."""
+        self.kernel_write(CTRL_WORD, command)
+
+    def monitor_status(self) -> int:
+        return self.kernel_read(STATUS_WORD)

@@ -1,0 +1,181 @@
+"""A single set-associative cache level (tag store only).
+
+Caches model presence, recency and dirtiness of 64-byte lines; data
+itself always lives in :class:`~repro.mem.physical.PhysicalMemory`.
+Observers can subscribe to line evictions/invalidations — the TSX model
+uses this to abort transactions whose write set loses a line, exactly
+the abort trigger MicroScope's Section 7.1 exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.mem.replacement import ReplacementPolicy, make_policy
+
+LINE_SIZE = 64
+LINE_SHIFT = 6
+
+
+def line_of(paddr: int) -> int:
+    """Line address (paddr with the offset bits cleared)."""
+    return paddr & ~(LINE_SIZE - 1)
+
+
+@dataclass
+class CacheConfig:
+    """Geometry and timing of one cache level."""
+
+    name: str
+    size_bytes: int
+    ways: int
+    latency: int
+    line_size: int = LINE_SIZE
+    policy: str = "lru"
+    policy_seed: int = 0
+
+    @property
+    def num_sets(self) -> int:
+        sets = self.size_bytes // (self.ways * self.line_size)
+        if sets <= 0 or self.size_bytes % (self.ways * self.line_size):
+            raise ValueError(
+                f"{self.name}: size {self.size_bytes} not divisible into "
+                f"{self.ways}-way sets of {self.line_size}B lines")
+        return sets
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    def reset(self):
+        self.hits = self.misses = self.evictions = self.invalidations = 0
+
+
+class Cache:
+    """One level of the cache hierarchy."""
+
+    def __init__(self, config: CacheConfig):
+        config.num_sets  # validate geometry eagerly
+        self.config = config
+        self.name = config.name
+        self.latency = config.latency
+        self._num_sets = config.num_sets
+        self._ways = config.ways
+        self._line_shift = config.line_size.bit_length() - 1
+        self._policy: ReplacementPolicy = make_policy(
+            config.policy, config.ways, config.policy_seed)
+        # Per set: list of line tags (full line address) per way, or None.
+        self._tags: List[List[Optional[int]]] = [
+            [None] * self._ways for _ in range(self._num_sets)]
+        self._dirty: List[List[bool]] = [
+            [False] * self._ways for _ in range(self._num_sets)]
+        self._meta = [self._policy.new_state() for _ in range(self._num_sets)]
+        # line address -> (set index, way) for O(1) lookups.
+        self._where: Dict[int, int] = {}
+        self.stats = CacheStats()
+        self._evict_observers: List[Callable[[int, bool], None]] = []
+
+    # --- geometry helpers ---------------------------------------------
+
+    def set_index(self, paddr: int) -> int:
+        return (paddr >> self._line_shift) % self._num_sets
+
+    def lines_mapping_to(self, paddr: int, count: int,
+                         stride_base: int = 1 << 30) -> List[int]:
+        """Return *count* distinct line addresses that map to the same
+        set as *paddr* (an eviction set), starting far away from it."""
+        target_set = self.set_index(paddr)
+        span = self._num_sets << self._line_shift
+        first = stride_base + (target_set << self._line_shift)
+        return [first + i * span for i in range(count)]
+
+    # --- observers ------------------------------------------------------
+
+    def add_evict_observer(self, callback: Callable[[int, bool], None]):
+        """Register ``callback(line_addr, was_dirty)`` fired whenever a
+        line leaves this cache (eviction or invalidation)."""
+        self._evict_observers.append(callback)
+
+    def _notify_evict(self, line_addr: int, dirty: bool):
+        for callback in self._evict_observers:
+            callback(line_addr, dirty)
+
+    # --- main operations --------------------------------------------------
+
+    def lookup(self, paddr: int, is_write: bool = False) -> bool:
+        """Probe for *paddr*; update recency (and dirtiness on write)."""
+        line_addr = line_of(paddr)
+        way = self._where.get(line_addr)
+        if way is None:
+            self.stats.misses += 1
+            return False
+        set_idx = self.set_index(paddr)
+        self._policy.on_access(self._meta[set_idx], way)
+        if is_write:
+            self._dirty[set_idx][way] = True
+        self.stats.hits += 1
+        return True
+
+    def contains(self, paddr: int) -> bool:
+        """Non-intrusive presence check (no recency update, no stats)."""
+        return line_of(paddr) in self._where
+
+    def insert(self, paddr: int, dirty: bool = False) -> Optional[int]:
+        """Fill the line of *paddr*; return the evicted line address (and
+        record its dirtiness via the observer) or ``None``."""
+        line_addr = line_of(paddr)
+        set_idx = self.set_index(paddr)
+        existing = self._where.get(line_addr)
+        if existing is not None:
+            self._policy.on_access(self._meta[set_idx], existing)
+            if dirty:
+                self._dirty[set_idx][existing] = True
+            return None
+        tags = self._tags[set_idx]
+        occupied = [tag is not None for tag in tags]
+        way = self._policy.choose_victim(self._meta[set_idx], occupied)
+        evicted = tags[way]
+        if evicted is not None:
+            was_dirty = self._dirty[set_idx][way]
+            del self._where[evicted]
+            self.stats.evictions += 1
+            self._notify_evict(evicted, was_dirty)
+        tags[way] = line_addr
+        self._dirty[set_idx][way] = dirty
+        self._where[line_addr] = way
+        self._policy.on_fill(self._meta[set_idx], way)
+        return evicted
+
+    def invalidate(self, paddr: int) -> bool:
+        """Drop the line of *paddr* (clflush).  Returns ``True`` if it
+        was present."""
+        line_addr = line_of(paddr)
+        way = self._where.pop(line_addr, None)
+        if way is None:
+            return False
+        set_idx = self.set_index(paddr)
+        was_dirty = self._dirty[set_idx][way]
+        self._tags[set_idx][way] = None
+        self._dirty[set_idx][way] = False
+        if hasattr(self._policy, "on_invalidate"):
+            self._policy.on_invalidate(self._meta[set_idx], way)
+        self.stats.invalidations += 1
+        self._notify_evict(line_addr, was_dirty)
+        return True
+
+    def flush_all(self):
+        """Drop every line."""
+        for line_addr in list(self._where):
+            self.invalidate(line_addr)
+
+    def resident_lines(self) -> List[int]:
+        """All line addresses currently cached (sorted, for tests)."""
+        return sorted(self._where)
+
+    def __len__(self) -> int:
+        return len(self._where)

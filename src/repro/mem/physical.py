@@ -1,0 +1,73 @@
+"""Simulated physical memory.
+
+Physical memory is a flat byte-addressed space divided into 4 KiB
+frames.  Storage is sparse: only written words consume host memory.
+Values are stored at word granularity (4- or 8-byte, always aligned),
+which is sufficient for the micro-ISA's load/store widths and for page
+table entries.
+
+The cache hierarchy (:mod:`repro.mem.hierarchy`) models *presence and
+latency* only; data always lives here, so reads are coherent by
+construction.  This mirrors the common simulator split between a timing
+model and a functional store.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+FRAME_SIZE = 4096
+FRAME_SHIFT = 12
+
+
+class PhysicalMemoryError(Exception):
+    """Raised on out-of-range or misaligned physical accesses."""
+
+
+class PhysicalMemory:
+    """Sparse word-granular physical memory of *num_frames* frames."""
+
+    def __init__(self, num_frames: int = 1 << 16):
+        if num_frames <= 0:
+            raise ValueError("num_frames must be positive")
+        self.num_frames = num_frames
+        self.size = num_frames * FRAME_SIZE
+        self._words: Dict[int, object] = {}
+
+    def _check(self, paddr: int, width: int):
+        if width not in (4, 8):
+            raise PhysicalMemoryError(f"bad access width: {width}")
+        if paddr % width:
+            raise PhysicalMemoryError(
+                f"misaligned physical access: {paddr:#x} width {width}")
+        if not 0 <= paddr < self.size:
+            raise PhysicalMemoryError(
+                f"physical address out of range: {paddr:#x}")
+
+    def read(self, paddr: int, width: int = 8):
+        """Read the word at *paddr*.  Unwritten memory reads as zero."""
+        self._check(paddr, width)
+        return self._words.get(paddr, 0)
+
+    def write(self, paddr: int, value, width: int = 8):
+        """Write *value* (int or float) at *paddr*."""
+        self._check(paddr, width)
+        self._words[paddr] = value
+
+    def frame_base(self, frame: int) -> int:
+        """Physical address of the first byte of *frame*."""
+        if not 0 <= frame < self.num_frames:
+            raise PhysicalMemoryError(f"frame out of range: {frame}")
+        return frame << FRAME_SHIFT
+
+    def zero_frame(self, frame: int):
+        """Clear every word of *frame* (used for fresh page tables)."""
+        base = self.frame_base(frame)
+        for paddr in range(base, base + FRAME_SIZE, 8):
+            self._words.pop(paddr, None)
+        for paddr in range(base, base + FRAME_SIZE, 4):
+            self._words.pop(paddr, None)
+
+    def words_in_use(self) -> int:
+        """Number of words currently stored (for diagnostics)."""
+        return len(self._words)

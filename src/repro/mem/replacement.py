@@ -1,0 +1,160 @@
+"""Cache replacement policies.
+
+Each policy manages the metadata of a single cache set.  The cache
+stores one policy *state* object per set and calls back into the policy
+on every access, fill and invalidation.  Three classic policies are
+provided:
+
+* :class:`LRUPolicy` — true least-recently-used (the default; Intel's
+  L1 is close enough to LRU for Prime+Probe purposes),
+* :class:`TreePLRUPolicy` — binary-tree pseudo-LRU as used by many real
+  L2/L3 designs,
+* :class:`RandomPolicy` — seeded random victim selection.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+
+class ReplacementPolicy:
+    """Interface for per-set replacement policies."""
+
+    def __init__(self, ways: int):
+        if ways <= 0:
+            raise ValueError("ways must be positive")
+        self.ways = ways
+
+    def new_state(self):
+        """Return fresh metadata for one cache set."""
+        raise NotImplementedError
+
+    def on_access(self, state, way: int):
+        """Record a hit on *way*."""
+        raise NotImplementedError
+
+    def on_fill(self, state, way: int):
+        """Record a fill into *way*."""
+        self.on_access(state, way)
+
+    def choose_victim(self, state, occupied: List[bool]) -> int:
+        """Pick the way to evict.  *occupied* flags valid ways; the
+        policy must return a free way when one exists."""
+        raise NotImplementedError
+
+
+class LRUPolicy(ReplacementPolicy):
+    """True LRU: state is a recency list, most recent last."""
+
+    def new_state(self):
+        return []
+
+    def on_access(self, state: list, way: int):
+        try:
+            state.remove(way)
+        except ValueError:
+            pass
+        state.append(way)
+
+    def choose_victim(self, state: list, occupied: List[bool]) -> int:
+        for way, used in enumerate(occupied):
+            if not used:
+                return way
+        return state[0] if state else 0
+
+    def on_invalidate(self, state: list, way: int):
+        try:
+            state.remove(way)
+        except ValueError:
+            pass
+
+
+class TreePLRUPolicy(ReplacementPolicy):
+    """Binary-tree pseudo-LRU.  Requires a power-of-two way count."""
+
+    def __init__(self, ways: int):
+        super().__init__(ways)
+        if ways & (ways - 1):
+            raise ValueError("tree-PLRU requires power-of-two ways")
+
+    def new_state(self):
+        return [0] * max(self.ways - 1, 1)
+
+    def on_access(self, state: list, way: int):
+        # Walk from the root, flipping each node to point *away* from
+        # the accessed way.
+        node, low, high = 0, 0, self.ways
+        while high - low > 1:
+            mid = (low + high) // 2
+            if way < mid:
+                state[node] = 1  # next victim search goes right
+                node = 2 * node + 1
+                high = mid
+            else:
+                state[node] = 0  # next victim search goes left
+                node = 2 * node + 2
+                low = mid
+
+    def choose_victim(self, state: list, occupied: List[bool]) -> int:
+        for way, used in enumerate(occupied):
+            if not used:
+                return way
+        node, low, high = 0, 0, self.ways
+        while high - low > 1:
+            mid = (low + high) // 2
+            if state[node] == 0:
+                node = 2 * node + 1
+                high = mid
+            else:
+                node = 2 * node + 2
+                low = mid
+        return low
+
+    def on_invalidate(self, state: list, way: int):
+        # Point the tree towards the freed way so it is refilled first.
+        node, low, high = 0, 0, self.ways
+        while high - low > 1:
+            mid = (low + high) // 2
+            if way < mid:
+                state[node] = 0
+                node = 2 * node + 1
+                high = mid
+            else:
+                state[node] = 1
+                node = 2 * node + 2
+                low = mid
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Seeded random replacement (deterministic across runs)."""
+
+    def __init__(self, ways: int, seed: int = 0):
+        super().__init__(ways)
+        self._rng = random.Random(seed)
+
+    def new_state(self):
+        return None
+
+    def on_access(self, state, way: int):
+        pass
+
+    def choose_victim(self, state, occupied: List[bool]) -> int:
+        for way, used in enumerate(occupied):
+            if not used:
+                return way
+        return self._rng.randrange(self.ways)
+
+    def on_invalidate(self, state, way: int):
+        pass
+
+
+def make_policy(name: str, ways: int, seed: int = 0) -> ReplacementPolicy:
+    """Factory: ``"lru"``, ``"plru"`` or ``"random"``."""
+    if name == "lru":
+        return LRUPolicy(ways)
+    if name == "plru":
+        return TreePLRUPolicy(ways)
+    if name == "random":
+        return RandomPolicy(ways, seed)
+    raise ValueError(f"unknown replacement policy: {name!r}")

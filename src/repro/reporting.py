@@ -1,0 +1,145 @@
+"""Machine-wide statistics reporting.
+
+Aggregates every subsystem's counters into a structured snapshot and a
+human-readable report: per-context IPC and squash behaviour, cache and
+TLB hit rates, page-walk and PWC statistics, execution-port usage,
+branch-predictor accuracy, and (when a kernel is supplied) fault
+accounting.  Standard simulator telemetry — and a quick way to *see*
+an attack: replays show up as squash storms with near-zero IPC on the
+victim context while the monitor hums along.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cpu.machine import Machine
+
+
+@dataclass
+class ContextReport:
+    context_id: int
+    fetched: int
+    retired: int
+    squashed: int
+    squash_events: int
+    replays: int
+    faults: int
+    txn_aborts: int
+    ipc: float
+
+    @property
+    def squash_rate(self) -> float:
+        return self.squashed / self.fetched if self.fetched else 0.0
+
+
+@dataclass
+class CacheReport:
+    name: str
+    hits: int
+    misses: int
+    evictions: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class MachineReport:
+    cycles: int
+    contexts: List[ContextReport]
+    caches: List[CacheReport]
+    tlb_hit_rate: float
+    pwc_hit_rate: float
+    walks: int
+    walk_faults: int
+    mean_walk_latency: float
+    dram_accesses: int
+    predictor_accuracy: float
+    port_issues: Dict[str, int]
+    kernel_page_faults: Optional[int] = None
+    microscope_replays: Optional[int] = None
+
+    def render(self) -> str:
+        lines = [f"machine report @ cycle {self.cycles}",
+                 "=" * 40]
+        for ctx in self.contexts:
+            lines.append(
+                f"ctx{ctx.context_id}: IPC {ctx.ipc:.2f}  retired "
+                f"{ctx.retired}  fetched {ctx.fetched}  squashed "
+                f"{ctx.squashed} ({ctx.squash_rate:.0%})  replays "
+                f"{ctx.replays}  faults {ctx.faults}  aborts "
+                f"{ctx.txn_aborts}")
+        for cache in self.caches:
+            lines.append(
+                f"{cache.name}: hit rate {cache.hit_rate:.1%} "
+                f"({cache.hits}/{cache.hits + cache.misses}), "
+                f"{cache.evictions} evictions")
+        lines.append(f"TLB hit rate: {self.tlb_hit_rate:.1%}   "
+                     f"PWC hit rate: {self.pwc_hit_rate:.1%}")
+        lines.append(f"page walks: {self.walks} ({self.walk_faults} "
+                     f"faulted, mean {self.mean_walk_latency:.0f} "
+                     f"cycles)   DRAM accesses: {self.dram_accesses}")
+        lines.append(
+            f"branch predictor accuracy: "
+            f"{self.predictor_accuracy:.1%}")
+        busiest = sorted(self.port_issues.items(),
+                         key=lambda kv: -kv[1])
+        lines.append("port issues: " + "  ".join(
+            f"{name}={count}" for name, count in busiest))
+        if self.kernel_page_faults is not None:
+            lines.append(f"kernel page faults: "
+                         f"{self.kernel_page_faults}")
+        if self.microscope_replays is not None:
+            lines.append(f"microscope handle faults: "
+                         f"{self.microscope_replays}")
+        return "\n".join(lines)
+
+
+def machine_report(machine: Machine, kernel=None,
+                   module=None) -> MachineReport:
+    """Snapshot every counter of *machine* (and optionally the kernel
+    and MicroScope module) into a :class:`MachineReport`."""
+    cycles = max(machine.cycle, 1)
+    contexts = []
+    for ctx in machine.contexts:
+        contexts.append(ContextReport(
+            context_id=ctx.context_id,
+            fetched=ctx.stats.fetched,
+            retired=ctx.stats.retired,
+            squashed=ctx.stats.squashed,
+            squash_events=ctx.stats.squash_events,
+            replays=ctx.stats.replays,
+            faults=ctx.stats.faults,
+            txn_aborts=ctx.stats.txn_aborts,
+            ipc=ctx.stats.retired / cycles))
+    caches = [CacheReport(c.name, c.stats.hits, c.stats.misses,
+                          c.stats.evictions)
+              for c in machine.hierarchy.levels]
+    tlb = machine.tlbs.l1d.stats
+    tlb_total = tlb.hits + tlb.misses
+    pwc = machine.pwc.stats
+    pwc_total = pwc.hits + pwc.misses
+    walker = machine.walker.stats
+    report = MachineReport(
+        cycles=machine.cycle,
+        contexts=contexts,
+        caches=caches,
+        tlb_hit_rate=tlb.hits / tlb_total if tlb_total else 0.0,
+        pwc_hit_rate=pwc.hits / pwc_total if pwc_total else 0.0,
+        walks=walker.walks,
+        walk_faults=walker.faults,
+        mean_walk_latency=(walker.total_latency / walker.walks
+                           if walker.walks else 0.0),
+        dram_accesses=machine.hierarchy.dram_accesses,
+        predictor_accuracy=machine.core.predictor.stats.accuracy,
+        port_issues={p.name: p.stats.issued
+                     for p in machine.core.ports.ports})
+    if kernel is not None:
+        report.kernel_page_faults = kernel.stats.page_faults
+    if module is not None:
+        report.microscope_replays = module.stats.handle_faults
+    return report

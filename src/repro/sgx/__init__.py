@@ -1,0 +1,27 @@
+"""SGX substrate: enclaves, AEX, attestation and rollback protection."""
+
+from repro.sgx.attestation import (
+    AttestationReport,
+    MonotonicCounter,
+    RunOnceGuard,
+    measure_program,
+)
+from repro.sgx.enclave import (
+    AEXRecord,
+    Enclave,
+    EnclaveConfig,
+    EnclaveProtectionError,
+    SGXPlatform,
+)
+
+__all__ = [
+    "AttestationReport",
+    "MonotonicCounter",
+    "RunOnceGuard",
+    "measure_program",
+    "AEXRecord",
+    "Enclave",
+    "EnclaveConfig",
+    "EnclaveProtectionError",
+    "SGXPlatform",
+]

@@ -1,0 +1,29 @@
+"""Shared conventions for victim programs.
+
+Victim builders tag the attack-relevant instructions with well-known
+comments so attack drivers can locate them without magic indices:
+
+* :data:`REPLAY_HANDLE` — the memory access the Replayer faults on;
+* :data:`TRANSMIT` — the instruction(s) that leak over a side channel
+  (the paper's "transmit computation", after [32]);
+* :data:`PIVOT` — the §4.2.2 instruction used to step between
+  iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+REPLAY_HANDLE = "replay-handle"
+TRANSMIT = "transmit"
+PIVOT = "pivot"
+
+
+@dataclass(frozen=True)
+class VictimBinary:
+    """A built victim: the program plus the addresses an OS-level
+    attacker legitimately knows (program layout, *not* secrets)."""
+
+    program: object        # repro.isa.Program
+    handle_va: int         # VA the replay handle accesses
+    handle_index: int      # instruction index of the replay handle

@@ -1,0 +1,103 @@
+"""The Control-Flow-Secret victim of Figures 4c and 6.
+
+One side of a secret-dependent branch performs two integer
+multiplications (Fig. 6a), the other two floating-point divisions
+(Fig. 6b).  **There is no loop** — each side executes its two
+operations exactly once per architectural run, which is precisely why
+conventional port-contention attacks cannot read it and MicroScope
+can.
+
+The replay handle is the counter update before the branch (the paper's
+``addq $0x1,0x20(%rbp)``); the secret lives in enclave-private memory
+on a separate, resident page.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.program import Program, ProgramBuilder
+from repro.kernel.process import Process
+from repro.victims.common import REPLAY_HANDLE, TRANSMIT
+
+
+@dataclass(frozen=True)
+class ControlFlowVictim:
+    """Built victim plus its memory layout."""
+
+    program: Program
+    handle_va: int       # page the Replayer faults (public counter)
+    secret_va: int       # enclave-private secret location
+    operand_va: int      # page holding the mul/div input operands
+
+    @property
+    def handle_index(self) -> int:
+        return self.program.find_one(REPLAY_HANDLE)
+
+
+def setup_control_flow_victim(process: Process, secret: int,
+                              divisions: int = 2,
+                              multiplications: int = 2
+                              ) -> ControlFlowVictim:
+    """Allocate the victim's memory and build its program.
+
+    *secret* selects the branch direction (0 = multiply side, 1 =
+    divide side).  The secret value is written into the process'
+    enclave-private region when one exists, else into a private page.
+    """
+    if secret not in (0, 1):
+        raise ValueError("secret must be 0 or 1")
+    handle_va = process.alloc(4096, "cf-counter")
+    operand_va = process.alloc(4096, "cf-operands")
+    if process.enclave is not None:
+        secret_va = process.enclave.private_base
+    else:
+        secret_va = process.alloc(4096, "cf-secret")
+    process.write(secret_va, secret)
+    process.write(handle_va + 0x20, 0)
+    # Operands for both sides (doubles for the div side, ints for mul).
+    process.write(operand_va, 7)            # mul operand a
+    process.write(operand_va + 8, 9)        # mul operand b
+    process.write(operand_va + 16, 2.5)     # div dividend
+    process.write(operand_va + 24, 1.25)    # div divisor
+
+    program = build_control_flow_program(
+        handle_va, secret_va, operand_va,
+        divisions=divisions, multiplications=multiplications)
+    return ControlFlowVictim(program, handle_va, secret_va, operand_va)
+
+
+def build_control_flow_program(handle_va: int, secret_va: int,
+                               operand_va: int, divisions: int = 2,
+                               multiplications: int = 2) -> Program:
+    """Emit the Fig. 6 victim.  The counter update (load+add+store on
+    the handle page) precedes the secret-dependent branch."""
+    b = ProgramBuilder("control-flow-secret")
+    b.li("r1", handle_va + 0x20)
+    b.li("r2", secret_va)
+    b.li("r3", operand_va)
+    # addq $0x1, 0x20(%rbp): the replay handle (Fig. 6, line 1).
+    b.load("r4", "r1", 0, comment=REPLAY_HANDLE)
+    b.addi("r4", "r4", 1)
+    b.store("r1", "r4", 0)
+    # Load the secret and branch on it.
+    b.load("r5", "r2", 0)
+    b.li("r6", 0)
+    b.bne("r5", "r6", "div_side")
+    # __victim_mul (Fig. 6a).
+    b.label("mul_side")
+    b.load("r7", "r3", 0)
+    b.load("r8", "r3", 8)
+    for i in range(multiplications):
+        b.mul("r9", "r7", "r8", comment=f"{TRANSMIT}-mul{i}")
+    b.jmp("done")
+    # __victim_div (Fig. 6b).
+    b.label("div_side")
+    b.fload("f0", "r3", 16)
+    b.fload("f1", "r3", 24)
+    for i in range(divisions):
+        b.fdiv(f"f{2 + i % 14}", "f1", "f0",
+               comment=f"{TRANSMIT}-div{i}")
+    b.label("done")
+    b.halt()
+    return b.build()

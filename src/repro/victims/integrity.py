@@ -1,0 +1,127 @@
+"""Victims for the Section 7 generalisations.
+
+* :func:`setup_rdrand_victim` — the §7.2 integrity target: draws one
+  hardware random number, branches on its parity (parity-dependent
+  port usage leaks it), and commits it to memory.  A replay handle
+  precedes the RDRAND.
+* :func:`setup_tsx_victim` — the §7.1 alternative-replay-handle
+  target: the same computation wrapped in a TSX transaction with a
+  retry fallback, so transaction aborts (attacker-induced write-set
+  evictions) replay the whole transaction body.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.program import Program, ProgramBuilder
+from repro.kernel.process import Process
+from repro.victims.common import REPLAY_HANDLE, TRANSMIT
+
+
+@dataclass(frozen=True)
+class RdrandVictim:
+    program: Program
+    handle_va: int
+    output_va: int
+
+    def read_output(self, process: Process) -> int:
+        return process.read(self.output_va)
+
+
+def setup_rdrand_victim(process: Process) -> RdrandVictim:
+    handle_va = process.alloc(4096, "rr-handle")
+    output_va = process.alloc(4096, "rr-output")
+    program = build_rdrand_program(handle_va, output_va)
+    return RdrandVictim(program, handle_va, output_va)
+
+
+def build_rdrand_program(handle_va: int, output_va: int) -> Program:
+    b = ProgramBuilder("rdrand-victim")
+    b.li("r1", handle_va)
+    b.li("r2", output_va)
+    b.fli("f0", 9.5)
+    b.fli("f1", 2.5)
+    b.load("r3", "r1", 0, comment=REPLAY_HANDLE)
+    b.rdrand("r10")
+    b.andi("r11", "r10", 1)
+    b.li("r12", 0)
+    b.bne("r11", "r12", "odd")
+    # Even parity: multiply-unit usage.
+    b.mul("r13", "r10", "r10", comment=f"{TRANSMIT}-even0")
+    b.mul("r13", "r13", "r13", comment=f"{TRANSMIT}-even1")
+    b.jmp("out")
+    b.label("odd")
+    # Odd parity: divider usage.
+    b.fdiv("f2", "f0", "f1", comment=f"{TRANSMIT}-odd0")
+    b.fdiv("f3", "f0", "f1", comment=f"{TRANSMIT}-odd1")
+    b.label("out")
+    b.store("r2", "r10", 0)
+    b.halt()
+    return b.build()
+
+
+@dataclass(frozen=True)
+class TSXVictim:
+    program: Program
+    txn_buffer_va: int     # a write-set line the attacker can evict
+    output_va: int
+    retries_va: int
+
+    def read_output(self, process: Process) -> int:
+        return process.read(self.output_va)
+
+    def read_retries(self, process: Process) -> int:
+        return process.read(self.retries_va)
+
+
+def setup_tsx_victim(process: Process, max_retries: int = 1_000_000
+                     ) -> TSXVictim:
+    txn_buffer_va = process.alloc(4096, "tsx-buffer")
+    output_va = process.alloc(4096, "tsx-output")
+    retries_va = process.alloc(4096, "tsx-retries")
+    program = build_tsx_program(txn_buffer_va, output_va, retries_va,
+                                max_retries)
+    return TSXVictim(program, txn_buffer_va, output_va, retries_va)
+
+
+def build_tsx_program(txn_buffer_va: int, output_va: int,
+                      retries_va: int, max_retries: int) -> Program:
+    """The transaction body draws a random value, leaks its parity via
+    unit usage, and commits it; the fallback path counts retries and
+    loops — the standard TSX retry idiom the §7.1 replays exploit."""
+    b = ProgramBuilder("tsx-victim")
+    b.li("r1", txn_buffer_va)
+    b.li("r2", output_va)
+    b.li("r4", retries_va)
+    b.li("r6", max_retries)
+    b.fli("f0", 9.5)
+    b.fli("f1", 2.5)
+    b.label("retry")
+    b.tbegin("fallback")
+    # Establish a write-set line early: its eviction aborts us.
+    b.li("r5", 1)
+    b.store("r1", "r5", 0)
+    b.rdrand("r10")
+    b.andi("r11", "r10", 1)
+    b.li("r12", 0)
+    b.bne("r11", "r12", "odd")
+    b.mul("r13", "r10", "r10", comment=f"{TRANSMIT}-even0")
+    b.mul("r13", "r13", "r13", comment=f"{TRANSMIT}-even1")
+    b.jmp("commit")
+    b.label("odd")
+    b.fdiv("f2", "f0", "f1", comment=f"{TRANSMIT}-odd0")
+    b.fdiv("f3", "f0", "f1", comment=f"{TRANSMIT}-odd1")
+    b.label("commit")
+    b.store("r2", "r10", 0)
+    b.tend()
+    b.jmp("done")
+    b.label("fallback")
+    # r15 carries the hardware abort count; keep our own tally too.
+    b.load("r7", "r4", 0)
+    b.addi("r7", "r7", 1)
+    b.store("r4", "r7", 0)
+    b.blt("r7", "r6", "retry")
+    b.label("done")
+    b.halt()
+    return b.build()

@@ -1,0 +1,79 @@
+"""The Single-Secret victim of Figures 4a and 5.
+
+``getSecret(id, key)`` increments a public counter (the replay handle)
+and returns ``secrets[id] / key``.  Two independent side channels hang
+off the same code:
+
+* the **division** is the transmit instruction — its latency reveals
+  whether ``secrets[id] / key`` is a subnormal operation (§4.2.1);
+* the **table load** ``secrets[id]`` leaves its cache line behind,
+  revealing ``id``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.isa.program import Program, ProgramBuilder
+from repro.kernel.process import Process
+from repro.victims.common import REPLAY_HANDLE, TRANSMIT
+
+#: Number of float secrets in the table (Fig. 5a: 512).
+NUM_SECRETS = 512
+
+
+@dataclass(frozen=True)
+class SingleSecretVictim:
+    program: Program
+    count_va: int       # the public counter page (replay handle)
+    secrets_va: int     # the float table page(s)
+    result_va: int      # where the result is stored
+
+    @property
+    def handle_index(self) -> int:
+        return self.program.find_one(REPLAY_HANDLE)
+
+
+def setup_single_secret_victim(process: Process, secrets: List[float],
+                               secret_id: int, key: float
+                               ) -> SingleSecretVictim:
+    """Allocate and initialise the Fig. 5 victim.
+
+    ``secrets`` is the (enclave-held) float table; the attacker's goal
+    is to learn properties of ``secrets[secret_id] / key``.
+    """
+    if not 0 <= secret_id < len(secrets):
+        raise ValueError("secret_id outside the secrets table")
+    count_va = process.alloc(4096, "ss-count")
+    secrets_va = process.alloc(8 * max(len(secrets), 1), "ss-secrets")
+    result_va = process.alloc(4096, "ss-result")
+    process.write(count_va, 0)
+    process.write_words(secrets_va, [float(s) for s in secrets])
+    program = build_single_secret_program(
+        count_va, secrets_va, result_va, secret_id, key)
+    return SingleSecretVictim(program, count_va, secrets_va, result_va)
+
+
+def build_single_secret_program(count_va: int, secrets_va: int,
+                                result_va: int, secret_id: int,
+                                key: float) -> Program:
+    """The assembly of Fig. 5b, one call of ``getSecret``."""
+    b = ProgramBuilder("single-secret")
+    b.li("r1", count_va)
+    b.li("r2", secrets_va)
+    b.li("r3", result_va)
+    b.fli("f1", key)
+    # count++ : the replay handle (Fig. 5b line 6).
+    b.load("r4", "r1", 0, comment=REPLAY_HANDLE)
+    b.addi("r4", "r4", 1)
+    b.store("r1", "r4", 0)
+    # measurement access: secrets[id]  (Fig. 5b line 11).
+    b.li("r5", secret_id * 8)
+    b.add("r5", "r5", "r2")
+    b.fload("f0", "r5", 0, comment=f"{TRANSMIT}-table-load")
+    # divss: the transmit instruction (Fig. 5b line 12).
+    b.fdiv("f2", "f0", "f1", comment=f"{TRANSMIT}-div")
+    b.fstore("r3", "f2", 0)
+    b.halt()
+    return b.build()

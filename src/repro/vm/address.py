@@ -1,0 +1,75 @@
+"""Virtual address decomposition (x86-64 4-level paging layout).
+
+A 48-bit virtual address splits into four 9-bit page-table indices and a
+12-bit page offset, exactly as in Figure 2 of the paper:
+
+    bits 47-39  PGD index  (level 0)
+    bits 38-30  PUD index  (level 1)
+    bits 29-21  PMD index  (level 2)
+    bits 20-12  PTE index  (level 3)
+    bits 11-0   page offset
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+INDEX_BITS = 9
+ENTRIES_PER_TABLE = 1 << INDEX_BITS
+#: Number of page-table levels (PGD, PUD, PMD, PTE).
+NUM_LEVELS = 4
+#: Human-readable level names, index 0 = root.
+LEVEL_NAMES = ("PGD", "PUD", "PMD", "PTE")
+VADDR_BITS = PAGE_SHIFT + NUM_LEVELS * INDEX_BITS
+MAX_VADDR = 1 << VADDR_BITS
+
+
+def check_vaddr(va: int) -> int:
+    """Validate that *va* is a canonical 48-bit virtual address."""
+    if not 0 <= va < MAX_VADDR:
+        raise ValueError(f"virtual address out of range: {va:#x}")
+    return va
+
+
+def vpn(va: int) -> int:
+    """Virtual page number of *va*."""
+    return check_vaddr(va) >> PAGE_SHIFT
+
+
+def page_offset(va: int) -> int:
+    """Offset of *va* within its page."""
+    return va & (PAGE_SIZE - 1)
+
+
+def page_base(va: int) -> int:
+    """First address of the page containing *va*."""
+    return check_vaddr(va) & ~(PAGE_SIZE - 1)
+
+
+def level_index(va: int, level: int) -> int:
+    """Page-table index of *va* at *level* (0 = PGD ... 3 = PTE)."""
+    if not 0 <= level < NUM_LEVELS:
+        raise ValueError(f"bad page-table level: {level}")
+    shift = PAGE_SHIFT + (NUM_LEVELS - 1 - level) * INDEX_BITS
+    return (check_vaddr(va) >> shift) & (ENTRIES_PER_TABLE - 1)
+
+
+def split(va: int) -> Tuple[int, int, int, int, int]:
+    """Return ``(pgd_idx, pud_idx, pmd_idx, pte_idx, offset)``."""
+    check_vaddr(va)
+    return (level_index(va, 0), level_index(va, 1), level_index(va, 2),
+            level_index(va, 3), page_offset(va))
+
+
+def prefix(va: int, level: int) -> int:
+    """The address bits that select the walk path *down to* (and
+    including) *level* — the tag used by the page-walk cache."""
+    shift = PAGE_SHIFT + (NUM_LEVELS - 1 - level) * INDEX_BITS
+    return check_vaddr(va) >> shift
+
+
+def same_page(va1: int, va2: int) -> bool:
+    """True when both addresses fall on the same 4 KiB page."""
+    return vpn(va1) == vpn(va2)

@@ -1,0 +1,43 @@
+"""Shared fixtures for the MicroScope reproduction test suite."""
+
+import pytest
+
+from repro.core.replayer import AttackEnvironment, Replayer
+from repro.cpu.machine import Machine, MachineConfig
+from repro.kernel.kernel import Kernel
+
+
+@pytest.fixture
+def machine() -> Machine:
+    """A fresh machine with default configuration."""
+    return Machine()
+
+
+@pytest.fixture
+def kernel(machine) -> Kernel:
+    """A kernel attached to the fresh machine."""
+    return Kernel(machine)
+
+
+@pytest.fixture
+def system(machine, kernel):
+    """(machine, kernel) pair."""
+    return machine, kernel
+
+
+@pytest.fixture
+def replayer() -> Replayer:
+    """A fully wired attack environment."""
+    return Replayer(AttackEnvironment.build())
+
+
+def run_program(machine, kernel, program, context_id=0,
+                max_cycles=200_000, process=None):
+    """Helper: create a process (unless given), launch and run the
+    program to completion; returns the context."""
+    if process is None:
+        process = kernel.create_process("test")
+    context = kernel.launch(process, program, context_id)
+    machine.run_context_to_completion(context_id, max_cycles)
+    assert context.finished(), "program did not finish in budget"
+    return context

@@ -1,0 +1,154 @@
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analysis import (
+    ConfidenceTracker,
+    IndexObservation,
+    LineObservation,
+    assemble_round_key,
+    classify_hits,
+    count_above,
+    derive_threshold,
+    majority_lines,
+    percentile,
+    recover_high_nibbles,
+    recover_round_key,
+    round1_byte_index,
+    summarize,
+)
+from repro.crypto.aes import encrypt_block, expand_decrypt_key, first_round_accesses
+from repro.crypto.keyschedule import invert_aes128_schedule
+
+
+def test_percentile_basics():
+    samples = list(range(1, 101))
+    assert percentile(samples, 50) == 50
+    assert percentile(samples, 100) == 100
+    assert percentile(samples, 0) == 1
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1], 200)
+
+
+def test_derive_threshold_above_bulk():
+    calibration = [100] * 995 + [101] * 5
+    threshold = derive_threshold(calibration, margin=2)
+    assert threshold >= 102
+    assert count_above(calibration, threshold) == 0
+
+
+def test_summarize():
+    summary = summarize([10, 10, 50], threshold=20)
+    assert summary.above == 1
+    assert summary.samples == 3
+    assert summary.rate == pytest.approx(1 / 3)
+
+
+def test_confidence_tracker_decides_h1():
+    tracker = ConfidenceTracker(rate_h0=0.01, rate_h1=0.2,
+                                confidence=0.99)
+    while not tracker.decided:
+        tracker.observe(True)
+    assert tracker.verdict is True
+
+
+def test_confidence_tracker_decides_h0():
+    tracker = ConfidenceTracker(rate_h0=0.01, rate_h1=0.2,
+                                confidence=0.99)
+    tracker.observe_many([False] * 500)
+    assert tracker.verdict is False
+
+
+def test_confidence_tracker_validation():
+    with pytest.raises(ValueError):
+        ConfidenceTracker(rate_h0=0.5, rate_h1=0.2)
+    with pytest.raises(ValueError):
+        ConfidenceTracker(confidence=0.4)
+
+
+def test_classify_hits():
+    assert classify_hits([4, 300, 5, 299], hit_threshold=20) == [0, 2]
+
+
+def test_majority_lines():
+    assert majority_lines([[1, 2], [1, 3], [1, 2]]) == [1, 2]
+    assert majority_lines([[1], [2]], quorum=1) == [1, 2]
+    assert majority_lines([]) == []
+
+
+def test_round1_byte_index_mapping():
+    # Statement 0 table 0 reads byte 24..31 of s0 -> ct byte 0.
+    assert round1_byte_index(0, 0) == 0
+    # Statement 0 table 1 reads s3's byte 1 -> ct byte 13.
+    assert round1_byte_index(0, 1) == 13
+    # All 16 (statement, table) pairs cover all 16 bytes.
+    covered = {round1_byte_index(s, t)
+               for s in range(4) for t in range(4)}
+    assert covered == set(range(16))
+    with pytest.raises(ValueError):
+        round1_byte_index(4, 0)
+
+
+def _truth_observations(key, ciphertext, with_index=False):
+    observations = []
+    for access in first_round_accesses(key, ciphertext):
+        if with_index:
+            observations.append(IndexObservation(
+                ciphertext, access.statement, access.table,
+                access.index))
+        else:
+            observations.append(LineObservation(
+                ciphertext, access.statement, access.table,
+                access.line))
+    return observations
+
+
+def test_recover_high_nibbles_from_truth():
+    key = bytes(range(16))
+    ciphertext = encrypt_block(key, bytes(16))
+    nibbles = recover_high_nibbles(
+        _truth_observations(key, ciphertext))
+    rk = expand_decrypt_key(key)
+    true_bytes = b"".join(w.to_bytes(4, "big") for w in rk[0:4])
+    for index, nibble in nibbles.items():
+        assert nibble == true_bytes[index] >> 4
+
+
+def test_recover_high_nibbles_rejects_conflicts():
+    obs = [LineObservation(bytes(16), 0, 0, 3),
+           LineObservation(bytes(16), 0, 0, 4)]
+    with pytest.raises(ValueError):
+        recover_high_nibbles(obs)
+
+
+def test_recover_round_key_and_master_key():
+    """Full pipeline at entry granularity: observations -> round key
+    -> schedule inversion -> master key."""
+    key = bytes(range(16))
+    ciphertext = encrypt_block(key, b"attack at dawn!!")
+    key_bytes = recover_round_key(
+        _truth_observations(key, ciphertext, with_index=True))
+    round_key = assemble_round_key(key_bytes)
+    assert invert_aes128_schedule(round_key) == key
+
+
+def test_assemble_round_key_missing_bytes():
+    with pytest.raises(ValueError):
+        assemble_round_key({0: 1})
+
+
+@given(st.binary(min_size=16, max_size=16),
+       st.binary(min_size=16, max_size=16))
+@settings(max_examples=20, deadline=None)
+def test_full_recovery_property(key, plaintext):
+    """For any key and block, noise-free entry-granularity round-1
+    observations recover the master key exactly."""
+    ciphertext = encrypt_block(key, plaintext)
+    key_bytes = recover_round_key(
+        _truth_observations(key, ciphertext, with_index=True))
+    assert invert_aes128_schedule(
+        assemble_round_key(key_bytes)) == key

@@ -1,0 +1,117 @@
+from repro.core.handles import count_memory_instructions, find_replay_handles
+from repro.isa.program import ProgramBuilder
+
+
+def sample_program():
+    """handle-candidate load, dependent load, then a sensitive div."""
+    return (ProgramBuilder()
+            .li("r1", 0x1000)
+            .li("r2", 0x2000)
+            .load("r3", "r1", 0)        # idx 2: independent load
+            .load("r4", "r2", 0)        # idx 3: feeds the division
+            .fli("f1", 2.0)
+            .fload("f2", "r2", 8)       # idx 5: also feeds nothing
+            .mul("r5", "r4", "r4")      # idx 6: depends on idx 3
+            .div("r6", "r5", "r4")      # idx 7: the sensitive op
+            .halt().build())
+
+
+def test_independent_load_is_candidate():
+    program = sample_program()
+    candidates = find_replay_handles(program, sensitive_index=7)
+    indices = {c.index for c in candidates}
+    assert 2 in indices            # independent load
+    assert 5 in indices            # float load, also independent
+
+
+def test_dependent_load_excluded():
+    program = sample_program()
+    candidates = find_replay_handles(program, sensitive_index=7)
+    indices = {c.index for c in candidates}
+    assert 3 not in indices        # sensitive op depends on it
+
+
+def test_distance_reported():
+    program = sample_program()
+    candidates = find_replay_handles(program, sensitive_index=7)
+    by_index = {c.index: c for c in candidates}
+    assert by_index[2].distance == 5
+
+
+def test_window_limits_search():
+    program = sample_program()
+    candidates = find_replay_handles(program, sensitive_index=7,
+                                     window=2)
+    assert all(c.distance <= 2 for c in candidates)
+
+
+def test_same_page_excluded_with_address_map():
+    program = sample_program()
+    address_of = {2: 0x5000, 5: 0x5008, 7: 0x5010}
+    candidates = find_replay_handles(program, sensitive_index=7,
+                                     address_of=address_of)
+    # Both loads share the sensitive instruction's page: excluded.
+    assert all(c.index not in (2, 5) for c in candidates)
+
+
+def test_different_page_kept_with_address_map():
+    program = sample_program()
+    address_of = {2: 0x5000, 7: 0x9000}
+    candidates = find_replay_handles(program, sensitive_index=7,
+                                     address_of=address_of)
+    assert any(c.index == 2 for c in candidates)
+
+
+def test_count_memory_instructions():
+    assert count_memory_instructions(sample_program()) == 3
+
+
+def test_stores_are_candidates():
+    program = (ProgramBuilder()
+               .li("r1", 0x1000)
+               .li("r2", 5)
+               .store("r1", "r2", 0)
+               .fli("f1", 2.0)
+               .fdiv("f2", "f1", "f1")
+               .halt().build())
+    candidates = find_replay_handles(program, sensitive_index=4)
+    assert any(c.instruction.is_store for c in candidates)
+
+
+def test_bad_sensitive_index():
+    import pytest
+    with pytest.raises(ValueError):
+        find_replay_handles(sample_program(), sensitive_index=99)
+
+
+def test_str_of_candidate():
+    program = sample_program()
+    candidate = find_replay_handles(program, 7)[0]
+    assert "distance" in str(candidate)
+
+
+def test_handles_in_real_aes_victim(kernel):
+    """The §4.4 handle choice is discoverable automatically: the rk
+    loads qualify as handles for the Td lookups that follow them."""
+    from repro.victims.aes_round import setup_aes_victim
+    process = kernel.create_process("aes")
+    victim = setup_aes_victim(process, bytes(range(16)), bytes(16))
+    program = victim.program
+    # Sensitive instruction: the t1 statement's Td0 load (the pivot).
+    sensitive = program.find_one("pivot td0-s1")
+    candidates = find_replay_handles(program, sensitive)
+    handle_index = program.find_one("replay-handle rk-s0")
+    assert any(c.index == handle_index for c in candidates)
+
+
+def test_handles_in_modexp_victim(kernel):
+    from repro.victims.rsa import setup_modexp_victim
+    from repro.isa.instructions import Opcode
+    process = kernel.create_process("rsa")
+    victim = setup_modexp_victim(process, 7, 13, 101)
+    program = victim.program
+    sensitive = next(i for i, ins in enumerate(program.instructions)
+                     if ins.comment.endswith("mult-operand"))
+    candidates = find_replay_handles(program, sensitive)
+    handle_index = program.find_one("replay-handle")
+    assert any(c.index == handle_index for c in candidates)

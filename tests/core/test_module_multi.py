@@ -1,0 +1,148 @@
+"""Multi-recipe and cross-process behaviour of the MicroScope module."""
+
+import pytest
+
+from repro.core.recipes import replay_n_times
+from repro.isa.program import ProgramBuilder
+
+
+def loader(va):
+    return (ProgramBuilder()
+            .li("r1", va).load("r2", "r1", 0).halt().build())
+
+
+def test_two_recipes_on_different_processes(replayer):
+    rep = replayer
+    p1 = rep.create_victim_process("a", enclave=False)
+    p2 = rep.create_monitor_process("b")
+    d1 = p1.alloc(4096, "d1")
+    d2 = p2.alloc(4096, "d2")
+    p1.write(d1, 11)
+    p2.write(d2, 22)
+    r1 = rep.module.provide_replay_handle(
+        p1, d1, attack_function=replay_n_times(2))
+    r2 = rep.module.provide_replay_handle(
+        p2, d2, attack_function=replay_n_times(3))
+    rep.launch_victim(p1, loader(d1), context_id=0)
+    rep.launch_monitor(p2, loader(d2), context_id=1)
+    rep.arm(r1)
+    rep.arm(r2)
+    rep.machine.run(1_000_000,
+                    until=lambda m: all(c.finished()
+                                        for c in m.contexts))
+    assert r1.replays == 2 and r2.replays == 3
+    assert rep.machine.contexts[0].int_regs["r2"] == 11
+    assert rep.machine.contexts[1].int_regs["r2"] == 22
+
+
+def test_same_page_faults_do_not_cross_processes(replayer):
+    """The trampoline keys on (pid, vpn): another process touching the
+    same *virtual* page is untouched."""
+    rep = replayer
+    victim = rep.create_victim_process("victim", enclave=False)
+    bystander = rep.create_monitor_process("bystander")
+    dv = victim.alloc(4096, "d")         # same VA range layout
+    db = bystander.alloc(4096, "d")
+    assert dv == db                       # identical virtual addresses
+    bystander.write(db, 7)
+    recipe = rep.module.provide_replay_handle(
+        victim, dv, attack_function=replay_n_times(1))
+    rep.launch_monitor(bystander, loader(db), context_id=1)
+    rep.arm(recipe)
+    rep.machine.run(200_000,
+                    until=lambda m: m.contexts[1].finished())
+    assert rep.machine.contexts[1].int_regs["r2"] == 7
+    assert recipe.replays == 0            # bystander never trampolined
+
+
+def test_monitor_addrs_primed_between_replays(replayer):
+    rep = replayer
+    process = rep.create_victim_process("v", enclave=False)
+    data = process.alloc(4096, "handle")
+    watched = process.alloc(4096, "watched")
+    levels_seen = []
+
+    def attack_fn(event):
+        levels_seen.append(rep.module.peek_lines(process, [watched])[0])
+        from repro.core.recipes import ReplayAction, ReplayDecision
+        action = (ReplayAction.RELEASE if event.replay_no >= 3
+                  else ReplayAction.REPLAY)
+        return ReplayDecision(action)
+
+    recipe = rep.module.provide_replay_handle(
+        process, data, attack_function=attack_fn,
+        prime_monitor_addrs=True)
+    rep.module.provide_monitor_addr(recipe, watched)
+    # Warm the watched line, then let the attack re-prime it.
+    rep.machine.hierarchy.access(process.translate_any(watched))
+    program = (ProgramBuilder()
+               .li("r1", data).load("r2", "r1", 0).halt().build())
+    rep.launch_victim(process, program)
+    rep.arm(recipe)
+    rep.run_until_victim_done()
+    # First fault: line still warm from our touch; afterwards the
+    # REPLAY path primed it to DRAM (-1) before each resume.
+    assert levels_seen[0] == 0
+    assert all(level == -1 for level in levels_seen[1:])
+
+
+def test_rearming_after_release(replayer):
+    """A recipe can be re-armed for a second campaign."""
+    rep = replayer
+    process = rep.create_victim_process("v", enclave=False)
+    data = process.alloc(4096, "d")
+    recipe = rep.module.provide_replay_handle(
+        process, data, attack_function=replay_n_times(2))
+    rep.launch_victim(process, loader(data))
+    rep.arm(recipe)
+    rep.run_until_victim_done()
+    assert recipe.replays == 2
+    # Reset the campaign counters, then run again.
+    recipe.released = False
+    recipe.replays = 0
+    rep.launch_victim(process, loader(data))
+    rep.arm(recipe)
+    rep.run_until_victim_done()
+    assert recipe.replays == 2
+    assert recipe.released
+
+
+def test_store_as_replay_handle(replayer):
+    """§4.1.1 allows any memory access as a handle — including stores."""
+    from repro.isa.instructions import Opcode
+    rep = replayer
+    process = rep.create_victim_process("v", enclave=False)
+    data = process.alloc(4096, "store-page")
+    other = process.alloc(4096, "other")
+    other_paddr = process.translate_any(other)
+    program = (ProgramBuilder()
+               .li("r1", data)
+               .li("r2", other)
+               .li("r3", 42)
+               .store("r1", "r3", 0)      # the handle (a store)
+               .load("r4", "r2", 0)       # transmit: independent load
+               .halt().build())
+    recipe = rep.module.provide_replay_handle(
+        process, data, attack_function=replay_n_times(3))
+    rep.launch_victim(process, program)
+    rep.module.prime_lines(process, [other])
+    rep.arm(recipe)
+    rep.run_until_victim_done()
+    assert recipe.replays == 3
+    assert process.read(data) == 42       # store committed exactly once
+    # The transmit load's speculative fill survived the squashes.
+    assert rep.machine.hierarchy.peek_level(other_paddr) >= 0
+
+
+def test_walk_stats_reflect_replays(replayer):
+    rep = replayer
+    process = rep.create_victim_process("v", enclave=False)
+    data = process.alloc(4096, "d")
+    recipe = rep.module.provide_replay_handle(
+        process, data, attack_function=replay_n_times(5))
+    rep.launch_victim(process, loader(data))
+    rep.arm(recipe)
+    rep.run_until_victim_done()
+    walker = rep.machine.walker.stats
+    assert walker.faults == 5
+    assert walker.walks >= 6   # 5 faulting walks + the final good one

@@ -1,0 +1,85 @@
+import pytest
+
+from repro.core.recipes import (
+    AttackRecipe,
+    ReplayAction,
+    ReplayDecision,
+    ReplayEvent,
+    WalkLocation,
+    WalkTuning,
+    replay_n_times,
+)
+
+
+class FakeProcess:
+    pid = 1
+
+
+def make_recipe(**kwargs):
+    return AttackRecipe(name="r", process=FakeProcess(),
+                        replay_handle_va=0x1000, **kwargs)
+
+
+def event_for(recipe, replay_no, is_pivot=False):
+    return ReplayEvent(recipe=recipe, context=None, fault=None,
+                       replay_no=replay_no, is_pivot_fault=is_pivot)
+
+
+def test_walk_tuning_rejects_pwc_leaf():
+    with pytest.raises(ValueError):
+        WalkTuning(leaf=WalkLocation.PWC)
+
+
+def test_pivot_same_page_rejected():
+    with pytest.raises(ValueError):
+        make_recipe(pivot_va=0x1010)
+
+
+def test_pivot_different_page_accepted():
+    recipe = make_recipe(pivot_va=0x2000)
+    assert recipe.pivot_va == 0x2000
+
+
+def test_default_decision_replays_until_max():
+    recipe = make_recipe(max_replays=3)
+    assert recipe.decide(event_for(recipe, 1)).action \
+        is ReplayAction.REPLAY
+    assert recipe.decide(event_for(recipe, 3)).action \
+        is ReplayAction.RELEASE
+
+
+def test_default_pivot_decision_swaps():
+    recipe = make_recipe(pivot_va=0x2000)
+    decision = recipe.decide(event_for(recipe, 0, is_pivot=True))
+    assert decision.action is ReplayAction.PIVOT
+
+
+def test_custom_attack_function_wins():
+    calls = []
+
+    def fn(event):
+        calls.append(event.replay_no)
+        return ReplayDecision(ReplayAction.RELEASE, extra_cost=7)
+
+    recipe = make_recipe(attack_function=fn)
+    decision = recipe.decide(event_for(recipe, 1))
+    assert decision.action is ReplayAction.RELEASE
+    assert decision.extra_cost == 7
+    assert calls == [1]
+
+
+def test_custom_pivot_function():
+    recipe = make_recipe(
+        pivot_va=0x2000,
+        pivot_function=lambda e: ReplayDecision(ReplayAction.HALT))
+    decision = recipe.decide(event_for(recipe, 0, is_pivot=True))
+    assert decision.action is ReplayAction.HALT
+
+
+def test_replay_n_times_helper():
+    fn = replay_n_times(2)
+    recipe = make_recipe(attack_function=fn)
+    assert recipe.decide(event_for(recipe, 1)).action \
+        is ReplayAction.REPLAY
+    assert recipe.decide(event_for(recipe, 2)).action \
+        is ReplayAction.RELEASE

@@ -1,0 +1,69 @@
+from repro.core.replayer import AttackEnvironment, Replayer
+from repro.isa.program import ProgramBuilder
+
+
+def test_environment_wiring():
+    env = AttackEnvironment.build()
+    assert env.kernel.machine is env.machine
+    assert env.machine.core.trap_handler is env.kernel
+    assert env.module.kernel is env.kernel
+    assert env.sgx.kernel is env.kernel
+
+
+def test_replayer_creates_enclave_victim(replayer):
+    process = replayer.create_victim_process("v")
+    assert process.enclave is not None
+    assert process.enclave.process is process
+
+
+def test_replayer_plain_victim(replayer):
+    process = replayer.create_victim_process("v", enclave=False)
+    assert process.enclave is None
+
+
+def test_launch_victim_enters_enclave(replayer):
+    process = replayer.create_victim_process("v")
+    program = ProgramBuilder().li("r1", 1).halt().build()
+    replayer.launch_victim(process, program)
+    assert process.enclave.entered
+    assert replayer.machine.contexts[0].program is program
+
+
+def test_launch_monitor_on_sibling(replayer):
+    process = replayer.create_monitor_process()
+    program = ProgramBuilder().li("r1", 1).halt().build()
+    replayer.launch_monitor(process, program)
+    assert replayer.machine.contexts[1].program is program
+
+
+def test_shared_channel_between_processes(replayer):
+    p1 = replayer.create_monitor_process("a")
+    p2 = replayer.create_monitor_process("b")
+    channel = replayer.shared_channel(p1, p2)
+    p1.write(channel.va_for(p1) + 32, 5)
+    assert p2.read(channel.va_for(p2) + 32) == 5
+
+
+def test_run_until_victim_done(replayer):
+    process = replayer.create_victim_process("v", enclave=False)
+    program = (ProgramBuilder()
+               .li("r1", 0).li("r2", 10)
+               .label("l").addi("r1", "r1", 1).bne("r1", "r2", "l")
+               .halt().build())
+    replayer.launch_victim(process, program)
+    replayer.run_until_victim_done()
+    assert replayer.machine.contexts[0].int_regs["r1"] == 10
+
+
+def test_run_until_released(replayer):
+    from repro.core.recipes import replay_n_times
+    process = replayer.create_victim_process("v", enclave=False)
+    data = process.alloc(4096, "d")
+    program = (ProgramBuilder()
+               .li("r1", data).load("r2", "r1", 0).halt().build())
+    recipe = replayer.module.provide_replay_handle(
+        process, data, attack_function=replay_n_times(2))
+    replayer.launch_victim(process, program)
+    replayer.arm(recipe)
+    replayer.run_until_released(recipe)
+    assert recipe.released

@@ -1,0 +1,68 @@
+import pytest
+
+from repro.cpu.branch import (
+    STRONG_NOT_TAKEN,
+    STRONG_TAKEN,
+    WEAK_NOT_TAKEN,
+    BranchPredictor,
+)
+
+
+def test_initial_prediction_not_taken():
+    predictor = BranchPredictor(16)
+    assert predictor.predict(0) is False
+
+
+def test_training_towards_taken():
+    predictor = BranchPredictor(16)
+    predictor.update(5, taken=True, mispredicted=True)
+    predictor.update(5, taken=True, mispredicted=False)
+    assert predictor.predict(5) is True
+
+
+def test_hysteresis():
+    predictor = BranchPredictor(16)
+    for _ in range(4):
+        predictor.update(3, taken=True, mispredicted=False)
+    assert predictor.peek(3) == STRONG_TAKEN
+    predictor.update(3, taken=False, mispredicted=True)
+    # One not-taken does not flip a strong counter.
+    assert predictor.predict(3) is True
+
+
+def test_flush_restores_initial_state():
+    predictor = BranchPredictor(16)
+    for _ in range(4):
+        predictor.update(3, taken=True, mispredicted=False)
+    predictor.flush()
+    assert predictor.peek(3) == WEAK_NOT_TAKEN
+
+
+def test_prime():
+    predictor = BranchPredictor(16)
+    predictor.prime(7, taken=True)
+    assert predictor.peek(7) == STRONG_TAKEN
+    predictor.prime(7, taken=False)
+    assert predictor.peek(7) == STRONG_NOT_TAKEN
+
+
+def test_aliasing_by_table_size():
+    predictor = BranchPredictor(8)
+    predictor.prime(1, taken=True)
+    assert predictor.predict(9) is True  # 9 % 8 == 1
+
+
+def test_stats_and_accuracy():
+    predictor = BranchPredictor(16)
+    predictor.predict(0)
+    predictor.update(0, taken=True, mispredicted=True)
+    predictor.predict(0)
+    predictor.update(0, taken=True, mispredicted=False)
+    assert predictor.stats.predictions == 2
+    assert predictor.stats.mispredictions == 1
+    assert predictor.stats.accuracy == 0.5
+
+
+def test_invalid_size():
+    with pytest.raises(ValueError):
+        BranchPredictor(0)

@@ -1,0 +1,252 @@
+"""Pipeline-level behaviour: dependencies, speculation, forwarding,
+memory ordering, fences and recovery."""
+
+import pytest
+
+from repro.cpu.machine import Machine
+from repro.isa.program import ProgramBuilder
+from tests.conftest import run_program
+
+
+def test_dependency_chain_correct(system):
+    machine, kernel = system
+    program = (ProgramBuilder()
+               .li("r1", 1)
+               .addi("r1", "r1", 1)
+               .addi("r1", "r1", 1)
+               .mul("r2", "r1", "r1")
+               .halt().build())
+    context = run_program(machine, kernel, program)
+    assert context.int_regs["r1"] == 3
+    assert context.int_regs["r2"] == 9
+
+
+def test_independent_ops_overlap(system):
+    """Two independent divides serialise on the single divider; the
+    elapsed time shows the structural hazard."""
+    machine, kernel = system
+    program = (ProgramBuilder()
+               .fli("f1", 10.0).fli("f2", 2.0)
+               .fdiv("f3", "f1", "f2")
+               .fdiv("f4", "f1", "f2")
+               .halt().build())
+    run_program(machine, kernel, program)
+    # Two non-pipelined 24-cycle divides cannot finish before ~48.
+    assert machine.cycle >= 48
+
+
+def test_loop_with_counter(system):
+    machine, kernel = system
+    program = (ProgramBuilder()
+               .li("r1", 0).li("r2", 25)
+               .label("loop")
+               .addi("r1", "r1", 1)
+               .bne("r1", "r2", "loop")
+               .halt().build())
+    context = run_program(machine, kernel, program)
+    assert context.int_regs["r1"] == 25
+    assert context.stats.retired >= 2 * 25
+
+
+def test_branch_not_taken_path(system):
+    machine, kernel = system
+    program = (ProgramBuilder()
+               .li("r1", 1).li("r2", 1)
+               .bne("r1", "r2", "skip")
+               .li("r3", 111)
+               .label("skip")
+               .halt().build())
+    context = run_program(machine, kernel, program)
+    assert context.int_regs["r3"] == 111
+
+
+def test_branch_taken_path_skips(system):
+    machine, kernel = system
+    program = (ProgramBuilder()
+               .li("r1", 1).li("r2", 2)
+               .bne("r1", "r2", "skip")
+               .li("r3", 111)
+               .label("skip")
+               .halt().build())
+    context = run_program(machine, kernel, program)
+    assert context.int_regs["r3"] == 0
+
+
+def test_blt_and_bge_signed(system):
+    machine, kernel = system
+    program = (ProgramBuilder()
+               .li("r1", 0)
+               .subi("r1", "r1", 1)      # r1 = -1 (unsigned max)
+               .li("r2", 1)
+               .blt("r1", "r2", "neg")   # signed: -1 < 1 -> taken
+               .li("r3", 0)
+               .halt()
+               .label("neg")
+               .li("r3", 1)
+               .halt().build())
+    context = run_program(machine, kernel, program)
+    assert context.int_regs["r3"] == 1
+
+
+def test_mispredict_recovery_no_architectural_damage(system):
+    """Wrong-path instructions must not change architected state."""
+    machine, kernel = system
+    builder = ProgramBuilder().li("r1", 0).li("r2", 50).li("r4", 0)
+    builder.label("loop")
+    builder.addi("r1", "r1", 1)
+    builder.bne("r1", "r2", "loop")
+    # Fall-through path is mispredicted for iterations 1..49.
+    builder.addi("r4", "r4", 1)
+    builder.halt()
+    context = run_program(machine, kernel, builder.build())
+    assert context.int_regs["r4"] == 1
+    assert machine.core.predictor.stats.mispredictions >= 1
+
+
+def test_store_load_roundtrip(system):
+    machine, kernel = system
+    process = kernel.create_process("p")
+    data = process.alloc(4096, "data")
+    program = (ProgramBuilder()
+               .li("r1", data)
+               .li("r2", 0xABCD)
+               .store("r1", "r2", 8)
+               .load("r3", "r1", 8)
+               .halt().build())
+    context = run_program(machine, kernel, program, process=process)
+    assert context.int_regs["r3"] == 0xABCD
+    assert process.read(data + 8) == 0xABCD
+
+
+def test_store_to_load_forwarding_before_retire(system):
+    """The load must observe the older store's value even while the
+    store sits in the store buffer."""
+    machine, kernel = system
+    process = kernel.create_process("p")
+    data = process.alloc(4096, "data")
+    program = (ProgramBuilder()
+               .li("r1", data)
+               .li("r2", 77)
+               .store("r1", "r2", 0)
+               .load("r3", "r1", 0)
+               .addi("r4", "r3", 1)
+               .halt().build())
+    context = run_program(machine, kernel, program, process=process)
+    assert context.int_regs["r3"] == 77
+    assert context.int_regs["r4"] == 78
+
+
+def test_memory_order_violation_repair(system):
+    """A load that raced ahead of an aliasing store gets squashed and
+    re-executed with the right value."""
+    machine, kernel = system
+    process = kernel.create_process("p")
+    data = process.alloc(4096, "data")
+    process.write(data, 1)
+    program = (ProgramBuilder()
+               .li("r1", data)
+               .li("r5", 1000)
+               # Slow address computation delays the store's address.
+               .mul("r6", "r5", "r5")
+               .div("r6", "r6", "r5")
+               .sub("r6", "r6", "r5")
+               .add("r7", "r1", "r6")    # r7 = data, but late
+               .li("r2", 42)
+               .store("r7", "r2", 0)     # address resolves late
+               .load("r3", "r1", 0)      # same location, races ahead
+               .halt().build())
+    context = run_program(machine, kernel, program, process=process)
+    assert context.int_regs["r3"] == 42
+
+
+def test_fp_load_store(system):
+    machine, kernel = system
+    process = kernel.create_process("p")
+    data = process.alloc(4096, "data")
+    process.write(data, 2.5)
+    program = (ProgramBuilder()
+               .li("r1", data)
+               .fload("f1", "r1", 0)
+               .fmul("f2", "f1", "f1")
+               .fstore("r1", "f2", 8)
+               .halt().build())
+    run_program(machine, kernel, program, process=process)
+    assert process.read(data + 8) == 6.25
+
+
+def test_width4_load_store(system):
+    machine, kernel = system
+    process = kernel.create_process("p")
+    data = process.alloc(4096, "data")
+    process.write(data + 4, 0x1234, width=4)
+    program = (ProgramBuilder()
+               .li("r1", data)
+               .load("r2", "r1", 4, width=4)
+               .store("r1", "r2", 12, width=4)
+               .halt().build())
+    run_program(machine, kernel, program, process=process)
+    assert process.read(data + 12, width=4) == 0x1234
+
+
+def test_fence_orders_execution(system):
+    machine, kernel = system
+    program = (ProgramBuilder()
+               .rdtsc("r1")
+               .fli("f1", 9.0).fli("f2", 3.0)
+               .fdiv("f3", "f1", "f2")
+               .fence()
+               .rdtsc("r2")
+               .sub("r3", "r2", "r1")
+               .halt().build())
+    context = run_program(machine, kernel, program)
+    # The second rdtsc waits for the divide (24 cycles) via the fence.
+    assert context.int_regs["r3"] >= 24
+
+
+def test_rdtsc_without_fence_can_run_early(system):
+    machine, kernel = system
+    program = (ProgramBuilder()
+               .rdtsc("r1")
+               .fli("f1", 9.0).fli("f2", 3.0)
+               .fdiv("f3", "f1", "f2")
+               .rdtsc("r2")
+               .sub("r3", "r2", "r1")
+               .halt().build())
+    context = run_program(machine, kernel, program)
+    assert context.int_regs["r3"] < 24
+
+
+def test_program_without_halt_finishes(system):
+    machine, kernel = system
+    program = ProgramBuilder().li("r1", 5).addi("r1", "r1", 1).build()
+    context = run_program(machine, kernel, program)
+    assert context.int_regs["r1"] == 6
+
+
+def test_code_after_halt_never_runs(system):
+    machine, kernel = system
+    program = (ProgramBuilder()
+               .li("r1", 1)
+               .halt()
+               .li("r1", 99)
+               .build())
+    context = run_program(machine, kernel, program)
+    assert context.int_regs["r1"] == 1
+
+
+def test_deterministic_across_runs():
+    def trace():
+        machine = Machine()
+        context = machine.contexts[0]
+        program = (ProgramBuilder()
+                   .li("r1", 0).li("r2", 30)
+                   .label("l")
+                   .addi("r1", "r1", 1)
+                   .mul("r3", "r1", "r1")
+                   .bne("r1", "r2", "l")
+                   .halt().build())
+        context.load_program(program)
+        machine.run(100_000)
+        return machine.cycle, context.int_regs["r3"]
+
+    assert trace() == trace()

@@ -1,0 +1,104 @@
+"""SMT behaviour: both contexts make progress, state is isolated, and
+execution ports are genuinely shared (the attack's foundation)."""
+
+from repro.cpu.machine import Machine
+from repro.isa.program import ProgramBuilder
+
+
+def counting_loop(iterations, reg="r1"):
+    return (ProgramBuilder()
+            .li(reg, 0).li("r2", iterations)
+            .label("loop")
+            .addi(reg, reg, 1)
+            .bne(reg, "r2", "loop")
+            .halt().build())
+
+
+def div_loop(iterations):
+    return (ProgramBuilder()
+            .li("r1", 0).li("r2", iterations)
+            .fli("f1", 9.0).fli("f2", 3.0)
+            .label("loop")
+            .fdiv("f3", "f1", "f2")
+            .addi("r1", "r1", 1)
+            .bne("r1", "r2", "loop")
+            .halt().build())
+
+
+def test_both_contexts_finish():
+    machine = Machine()
+    machine.contexts[0].load_program(counting_loop(40))
+    machine.contexts[1].load_program(counting_loop(60))
+    machine.run(100_000)
+    assert machine.contexts[0].int_regs["r1"] == 40
+    assert machine.contexts[1].int_regs["r1"] == 60
+
+
+def test_register_state_isolated():
+    machine = Machine()
+    machine.contexts[0].load_program(
+        ProgramBuilder().li("r5", 111).halt().build())
+    machine.contexts[1].load_program(
+        ProgramBuilder().li("r5", 222).halt().build())
+    machine.run(10_000)
+    assert machine.contexts[0].int_regs["r5"] == 111
+    assert machine.contexts[1].int_regs["r5"] == 222
+
+
+def test_divider_contention_slows_sibling():
+    """A divide-heavy sibling measurably slows a divide loop — the
+    §4.3 port-contention signal."""
+    def cycles_for_div_loop(with_contender):
+        machine = Machine()
+        machine.contexts[0].load_program(div_loop(30))
+        if with_contender:
+            machine.contexts[1].load_program(div_loop(30))
+        machine.run(200_000,
+                    until=lambda m: m.contexts[0].finished())
+        return machine.cycle
+
+    alone = cycles_for_div_loop(False)
+    contended = cycles_for_div_loop(True)
+    assert contended > alone * 1.5
+
+
+def test_alu_work_does_not_contend_with_divider():
+    """Multiplication traffic on the sibling barely affects the divide
+    loop — contention is unit-specific."""
+    def cycles_with_sibling(sibling_program):
+        machine = Machine()
+        machine.contexts[0].load_program(div_loop(30))
+        if sibling_program is not None:
+            machine.contexts[1].load_program(sibling_program)
+        machine.run(200_000,
+                    until=lambda m: m.contexts[0].finished())
+        return machine.cycle
+
+    alone = cycles_with_sibling(None)
+    mul_prog = (ProgramBuilder()
+                .li("r1", 0).li("r2", 200).li("r3", 7)
+                .label("loop")
+                .mul("r4", "r3", "r3")
+                .addi("r1", "r1", 1)
+                .bne("r1", "r2", "loop")
+                .halt().build())
+    with_muls = cycles_with_sibling(mul_prog)
+    assert with_muls < alone * 1.2
+
+
+def test_one_context_halting_frees_bandwidth():
+    machine = Machine()
+    machine.contexts[0].load_program(counting_loop(5))
+    machine.contexts[1].load_program(counting_loop(500))
+    machine.run(100_000)
+    assert machine.contexts[0].finished()
+    assert machine.contexts[1].int_regs["r1"] == 500
+
+
+def test_busy_reflects_context_states():
+    machine = Machine()
+    assert not machine.core.busy()
+    machine.contexts[0].load_program(counting_loop(3))
+    assert machine.core.busy()
+    machine.run(10_000)
+    assert not machine.core.busy()

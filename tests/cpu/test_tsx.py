@@ -1,0 +1,210 @@
+"""TSX transaction semantics: commit, rollback, abort triggers."""
+
+from repro.cpu.machine import Machine
+from repro.isa.program import ProgramBuilder
+from repro.kernel.kernel import Kernel
+from tests.conftest import run_program
+
+
+def make_process(kernel):
+    process = kernel.create_process("txn")
+    data = process.alloc(4096, "data")
+    return process, data
+
+
+def test_commit_publishes_writes(system):
+    machine, kernel = system
+    process, data = make_process(kernel)
+    program = (ProgramBuilder()
+               .li("r1", data)
+               .li("r2", 55)
+               .tbegin("fallback")
+               .store("r1", "r2", 0)
+               .tend()
+               .halt()
+               .label("fallback")
+               .li("r3", 1)
+               .halt().build())
+    context = run_program(machine, kernel, program, process=process)
+    assert process.read(data) == 55
+    assert context.stats.txn_aborts == 0
+
+
+def test_writes_invisible_until_commit(system):
+    machine, kernel = system
+    process, data = make_process(kernel)
+    program = (ProgramBuilder()
+               .li("r1", data)
+               .li("r2", 55)
+               .tbegin("fallback")
+               .store("r1", "r2", 0)
+               .fli("f1", 1.0).fli("f2", 3.0)
+               .fdiv("f3", "f1", "f2")    # stretch the transaction
+               .fdiv("f3", "f1", "f2")
+               .tend()
+               .halt()
+               .label("fallback")
+               .halt().build())
+    context = kernel.launch(process, program)
+    # Run until inside the transaction (store retired, not committed).
+    machine.run(10_000, until=lambda m: context.in_transaction
+                and process.phys.read(process.translate_any(data)) == 0
+                and context.stats.retired >= 5)
+    assert context.in_transaction
+    assert process.read(data) == 0
+    machine.run(100_000)
+    assert process.read(data) == 55
+
+
+def test_explicit_abort_rolls_back(system):
+    machine, kernel = system
+    process, data = make_process(kernel)
+    program = (ProgramBuilder()
+               .li("r1", data)
+               .li("r4", 7)
+               .tbegin("fallback")
+               .li("r4", 99)              # will be rolled back
+               .li("r2", 55)
+               .store("r1", "r2", 0)      # will be discarded
+               .tabort()
+               .tend()
+               .halt()
+               .label("fallback")
+               .li("r5", 1)
+               .halt().build())
+    context = run_program(machine, kernel, program, process=process)
+    assert context.stats.txn_aborts == 1
+    assert context.int_regs["r4"] == 7     # register rollback
+    assert context.int_regs["r5"] == 1     # fallback ran
+    assert process.read(data) == 0         # store discarded
+
+
+def test_abort_count_in_r15(system):
+    machine, kernel = system
+    process, data = make_process(kernel)
+    program = (ProgramBuilder()
+               .tbegin("fallback")
+               .tabort()
+               .tend()
+               .halt()
+               .label("fallback")
+               .halt().build())
+    context = run_program(machine, kernel, program, process=process)
+    assert context.int_regs["r15"] == 1
+
+
+def test_write_set_eviction_aborts(system):
+    """§7.1: evicting a dirty transactional line aborts — the
+    attacker-controlled replay trigger."""
+    machine, kernel = system
+    process, data = make_process(kernel)
+    program = (ProgramBuilder()
+               .li("r1", data)
+               .li("r2", 1)
+               .li("r6", 0)
+               .label("retry")
+               .tbegin("fallback")
+               .store("r1", "r2", 0)
+               .fli("f1", 8.0).fli("f2", 2.0)
+               .fdiv("f3", "f1", "f2")
+               .fdiv("f3", "f1", "f2")
+               .tend()
+               .halt()
+               .label("fallback")
+               .addi("r6", "r6", 1)
+               .li("r7", 3)
+               .blt("r6", "r7", "retry")
+               .halt().build())
+    context = kernel.launch(process, program)
+    data_paddr = process.translate_any(data)
+    aborted = 0
+    budget = 200_000
+    while budget > 0 and not context.finished():
+        machine.step(5)
+        budget -= 5
+        if context.in_transaction and aborted < 2:
+            if machine.hierarchy.l1.contains(data_paddr):
+                machine.hierarchy.flush_line(data_paddr)
+                aborted += 1
+    assert context.finished()
+    assert context.stats.txn_aborts >= 2
+    assert process.read(data) == 1   # eventually committed
+
+
+def test_fault_inside_transaction_aborts_without_os(system):
+    """Page faults in a transaction become aborts; the kernel never
+    sees them — the T-SGX premise."""
+    machine, kernel = system
+    process, data = make_process(kernel)
+    hidden = process.alloc(4096, "hidden")
+    kernel.set_present(process, hidden, False)
+    machine.hierarchy.flush_all()
+    machine.pwc.flush_all()
+    program = (ProgramBuilder()
+               .li("r1", hidden)
+               .tbegin("fallback")
+               .load("r2", "r1", 0)
+               .tend()
+               .li("r3", 2)               # success path marker
+               .halt()
+               .label("fallback")
+               .li("r3", 1)               # abort path marker
+               .halt().build())
+    context = run_program(machine, kernel, program, process=process)
+    assert context.int_regs["r3"] == 1
+    assert context.stats.txn_aborts == 1
+    assert kernel.stats.page_faults == 0
+
+
+def test_interrupt_aborts_transaction(system):
+    machine, kernel = system
+    process, data = make_process(kernel)
+    program = (ProgramBuilder()
+               .tbegin("fallback")
+               .fli("f1", 8.0).fli("f2", 2.0)
+               .fdiv("f3", "f1", "f2")
+               .fdiv("f3", "f1", "f2")
+               .fdiv("f3", "f1", "f2")
+               .tend()
+               .li("r3", 2)
+               .halt()
+               .label("fallback")
+               .li("r3", 1)
+               .halt().build())
+    context = kernel.launch(process, program)
+    machine.run(10_000, until=lambda m: context.in_transaction)
+    context.pending_interrupt = "timer"
+    machine.run(100_000)
+    assert context.int_regs["r3"] == 1
+    assert context.stats.txn_aborts == 1
+    assert context.last_txn_abort_reason == "interrupt"
+
+
+def test_transactional_forwarding(system):
+    """Loads inside a transaction observe the transaction's own
+    buffered (committed-but-unpublished) stores."""
+    machine, kernel = system
+    process, data = make_process(kernel)
+    program = (ProgramBuilder()
+               .li("r1", data)
+               .li("r2", 123)
+               .tbegin("fallback")
+               .store("r1", "r2", 0)
+               .fli("f1", 8.0).fli("f2", 2.0)
+               .fdiv("f3", "f1", "f2")    # delay so the store drains
+               .fdiv("f3", "f1", "f2")    # into the txn buffer
+               .load("r3", "r1", 0)
+               .tend()
+               .halt()
+               .label("fallback")
+               .halt().build())
+    context = run_program(machine, kernel, program, process=process)
+    assert context.int_regs["r3"] == 123
+
+
+def test_tend_without_transaction_is_noop(system):
+    machine, kernel = system
+    process, _data = make_process(kernel)
+    program = (ProgramBuilder().tend().li("r1", 5).halt().build())
+    context = run_program(machine, kernel, program, process=process)
+    assert context.int_regs["r1"] == 5

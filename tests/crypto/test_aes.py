@@ -1,0 +1,130 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import (
+    AESError,
+    decrypt_block,
+    decrypt_block_traced,
+    encrypt_block,
+    expand_decrypt_key,
+    expand_key,
+    first_round_accesses,
+    lines_touched,
+    rounds_for_key,
+)
+
+# FIPS-197 Appendix C vectors.
+PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+KEY128 = bytes(range(16))
+KEY192 = bytes(range(24))
+KEY256 = bytes(range(32))
+CT128 = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+CT192 = bytes.fromhex("dda97ca4864cdfe06eaf70a0ec0d7191")
+CT256 = bytes.fromhex("8ea2b7ca516745bfeafc49904b496089")
+
+
+@pytest.mark.parametrize("key,expected", [
+    (KEY128, CT128), (KEY192, CT192), (KEY256, CT256)])
+def test_fips197_encrypt(key, expected):
+    assert encrypt_block(key, PLAINTEXT) == expected
+
+
+@pytest.mark.parametrize("key,ct", [
+    (KEY128, CT128), (KEY192, CT192), (KEY256, CT256)])
+def test_fips197_decrypt(key, ct):
+    assert decrypt_block(key, ct) == PLAINTEXT
+
+
+def test_fips197_appendix_a_key_expansion():
+    key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    words = expand_key(key)
+    assert words[4] == 0xA0FAFE17
+    assert words[43] == 0xB6630CA6
+
+
+def test_rounds_for_key():
+    assert rounds_for_key(KEY128) == 10
+    assert rounds_for_key(KEY192) == 12
+    assert rounds_for_key(KEY256) == 14
+    with pytest.raises(AESError):
+        rounds_for_key(b"short")
+
+
+def test_bad_block_sizes():
+    with pytest.raises(AESError):
+        encrypt_block(KEY128, b"short")
+    with pytest.raises(AESError):
+        decrypt_block(KEY128, b"x" * 17)
+
+
+def test_decrypt_key_schedule_shape():
+    rk = expand_decrypt_key(KEY128)
+    assert len(rk) == 44
+    enc = expand_key(KEY128)
+    # First decryption round key = last encryption round key.
+    assert rk[0:4] == enc[40:44]
+    # Last decryption round key = first encryption round key.
+    assert rk[40:44] == enc[0:4]
+
+
+def test_trace_counts():
+    _plain, accesses = decrypt_block_traced(KEY128, CT128)
+    # 9 middle rounds x 4 statements x 4 table lookups.
+    assert len(accesses) == 9 * 4 * 4
+    assert {a.table for a in accesses} == {0, 1, 2, 3}
+    assert {a.round for a in accesses} == set(range(1, 10))
+    assert all(0 <= a.index < 256 for a in accesses)
+
+
+def test_trace_disabled_returns_plaintext_only():
+    plain, accesses = decrypt_block_traced(KEY128, CT128, trace=False)
+    assert plain == PLAINTEXT
+    assert accesses == []
+
+
+def test_first_round_accesses_depend_only_on_ct_and_last_key():
+    accesses = first_round_accesses(KEY128, CT128)
+    assert len(accesses) == 16
+    rk = expand_decrypt_key(KEY128)
+    state = [int.from_bytes(CT128[4 * i:4 * i + 4], "big") ^ rk[i]
+             for i in range(4)]
+    t0_td0 = next(a for a in accesses
+                  if a.statement == 0 and a.table == 0)
+    assert t0_td0.index == state[0] >> 24
+
+
+def test_lines_touched_sorted_unique():
+    accesses = first_round_accesses(KEY128, CT128)
+    lines = lines_touched(accesses, table=0)
+    assert lines == sorted(set(lines))
+    assert all(0 <= line < 16 for line in lines)
+
+
+def test_trace_line_property():
+    _plain, accesses = decrypt_block_traced(KEY128, CT128)
+    for access in accesses[:32]:
+        assert access.line == access.index // 16
+
+
+@given(st.binary(min_size=16, max_size=16),
+       st.binary(min_size=16, max_size=16))
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_random_128(key, block):
+    assert decrypt_block(key, encrypt_block(key, block)) == block
+
+
+@given(st.binary(min_size=32, max_size=32),
+       st.binary(min_size=16, max_size=16))
+@settings(max_examples=15, deadline=None)
+def test_roundtrip_random_256(key, block):
+    assert decrypt_block(key, encrypt_block(key, block)) == block
+
+
+@given(st.binary(min_size=16, max_size=16))
+@settings(max_examples=15, deadline=None)
+def test_encryption_is_permutation_like(key):
+    """Different plaintexts encrypt to different ciphertexts."""
+    a = encrypt_block(key, bytes(16))
+    b = encrypt_block(key, bytes([1] + [0] * 15))
+    assert a != b

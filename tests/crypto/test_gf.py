@@ -1,0 +1,54 @@
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.gf import ginv, gmul, gpow, xtime
+
+_elem = st.integers(min_value=0, max_value=255)
+
+
+def test_known_products():
+    # Classic AES examples.
+    assert gmul(0x57, 0x83) == 0xC1
+    assert gmul(0x57, 0x13) == 0xFE
+    assert gmul(2, 0x80) == 0x1B
+
+
+def test_xtime_matches_gmul_by_two():
+    for a in range(256):
+        assert xtime(a) == gmul(2, a)
+
+
+def test_identity_and_zero():
+    for a in range(256):
+        assert gmul(a, 1) == a
+        assert gmul(a, 0) == 0
+
+
+def test_inverse_table():
+    assert ginv(0) == 0
+    for a in range(1, 256):
+        assert gmul(a, ginv(a)) == 1
+
+
+def test_gpow():
+    assert gpow(3, 0) == 1
+    assert gpow(3, 1) == 3
+    assert gpow(3, 255) == 1   # group order divides 255
+
+
+@given(_elem, _elem)
+@settings(max_examples=100, deadline=None)
+def test_commutativity(a, b):
+    assert gmul(a, b) == gmul(b, a)
+
+
+@given(_elem, _elem, _elem)
+@settings(max_examples=100, deadline=None)
+def test_associativity(a, b, c):
+    assert gmul(gmul(a, b), c) == gmul(a, gmul(b, c))
+
+
+@given(_elem, _elem, _elem)
+@settings(max_examples=100, deadline=None)
+def test_distributivity(a, b, c):
+    assert gmul(a, b ^ c) == gmul(a, b) ^ gmul(a, c)

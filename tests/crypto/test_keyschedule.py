@@ -1,0 +1,36 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AESError, expand_key
+from repro.crypto.keyschedule import invert_aes128_schedule, round_key_words
+
+
+def _round_key_bytes(key, round_no):
+    words = expand_key(key)
+    return b"".join(w.to_bytes(4, "big")
+                    for w in words[4 * round_no:4 * round_no + 4])
+
+
+def test_inversion_of_known_key():
+    key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    assert invert_aes128_schedule(_round_key_bytes(key, 10)) == key
+
+
+def test_round_key_words():
+    words = expand_key(bytes(16))
+    assert round_key_words(words, 0) == words[0:4]
+    assert round_key_words(words, 10) == words[40:44]
+    with pytest.raises(AESError):
+        round_key_words(words, 11)
+
+
+def test_invert_rejects_bad_length():
+    with pytest.raises(AESError):
+        invert_aes128_schedule(b"short")
+
+
+@given(st.binary(min_size=16, max_size=16))
+@settings(max_examples=40, deadline=None)
+def test_inversion_roundtrip(key):
+    assert invert_aes128_schedule(_round_key_bytes(key, 10)) == key

@@ -1,0 +1,91 @@
+import pytest
+
+from repro.crypto.aes_tables import (
+    ENTRIES_PER_LINE,
+    LINES_PER_TABLE,
+    entries_on_line,
+    inv_sbox,
+    line_of_entry,
+    sbox,
+    td_tables,
+    te_tables,
+)
+from repro.crypto.gf import gmul
+
+
+def test_sbox_known_values():
+    s = sbox()
+    assert s[0x00] == 0x63
+    assert s[0x01] == 0x7C
+    assert s[0x53] == 0xED
+    assert s[0xFF] == 0x16
+
+
+def test_sbox_is_permutation():
+    assert sorted(sbox()) == list(range(256))
+
+
+def test_inv_sbox_inverts():
+    s, si = sbox(), inv_sbox()
+    for x in range(256):
+        assert si[s[x]] == x
+
+
+def test_te0_structure():
+    te0 = te_tables()[0]
+    s = sbox()
+    for x in (0, 1, 0x53, 0xFF):
+        word = te0[x]
+        assert (word >> 24) & 0xFF == gmul(2, s[x])
+        assert (word >> 16) & 0xFF == s[x]
+        assert (word >> 8) & 0xFF == s[x]
+        assert word & 0xFF == gmul(3, s[x])
+
+
+def test_td0_structure():
+    td0 = td_tables()[0]
+    si = inv_sbox()
+    for x in (0, 1, 0x53, 0xFF):
+        word = td0[x]
+        assert (word >> 24) & 0xFF == gmul(14, si[x])
+        assert (word >> 16) & 0xFF == gmul(9, si[x])
+        assert (word >> 8) & 0xFF == gmul(13, si[x])
+        assert word & 0xFF == gmul(11, si[x])
+
+
+def test_rotation_relationship():
+    tables = td_tables()
+    for i in range(3):
+        for x in (0, 7, 200):
+            w = tables[i][x]
+            rotated = ((w >> 8) | (w << 24)) & 0xFFFFFFFF
+            assert tables[i + 1][x] == rotated
+
+
+def test_geometry_matches_figure11():
+    """16 cache lines per table, 16 entries per line — the x-axis of
+    Figure 11."""
+    assert LINES_PER_TABLE == 16
+    assert ENTRIES_PER_LINE == 16
+
+
+def test_line_of_entry():
+    assert line_of_entry(0) == 0
+    assert line_of_entry(15) == 0
+    assert line_of_entry(16) == 1
+    assert line_of_entry(255) == 15
+    with pytest.raises(ValueError):
+        line_of_entry(256)
+
+
+def test_entries_on_line():
+    assert list(entries_on_line(0)) == list(range(16))
+    assert list(entries_on_line(15)) == list(range(240, 256))
+    with pytest.raises(ValueError):
+        entries_on_line(16)
+
+
+def test_tables_have_256_words():
+    for table in te_tables() + td_tables():
+        assert len(table) == 256
+        assert all(0 <= w <= 0xFFFFFFFF for w in table)

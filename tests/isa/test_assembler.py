@@ -1,0 +1,168 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import instructions as ins
+from repro.isa.assembler import AssemblerError, assemble, disassemble
+from repro.isa.instructions import Opcode
+from repro.isa.program import ProgramBuilder
+
+
+def test_basic_assembly():
+    program = assemble("""
+        ; compute 6 * 7
+        li   r1, 6
+        li   r2, 7
+        mul  r3, r1, r2
+        halt
+    """)
+    assert len(program) == 4
+    assert program[2].op is Opcode.MUL
+
+
+def test_labels_and_branches():
+    program = assemble("""
+    loop:
+        subi r1, r1, 1
+        bne  r1, r0, loop
+        halt
+    """)
+    assert program.resolve("loop") == 0
+    assert program.target_index(program[1]) == 0
+
+
+def test_memory_operands():
+    program = assemble("""
+        load   r1, [r2 + 16]
+        load.w r1, [r2 + 0x20]
+        store  [r3 - 8], r4
+        fload  f1, [r2]
+        fstore [r2 + 4], f1
+    """)
+    assert program[0].imm == 16
+    assert program[1].width == 4
+    assert program[1].imm == 32
+    assert program[2].imm == -8
+    assert program[3].imm == 0
+    assert program[4].rs2 == "f1"
+
+
+def test_hash_comments_and_blank_lines():
+    program = assemble("\n# leading comment\nnop\n\nhalt # trailing\n")
+    assert len(program) == 2
+
+
+def test_float_literals():
+    program = assemble("fli f0, 2.5")
+    assert program[0].imm == 2.5
+
+
+def test_misc_ops():
+    program = assemble("""
+        rdtsc r1
+        rdrand r2
+        fence
+        tbegin fb
+        tend
+        tabort
+    fb:
+        halt
+    """)
+    ops = [instr.op for instr in program.instructions]
+    assert Opcode.RDTSC in ops and Opcode.TBEGIN in ops
+
+
+@pytest.mark.parametrize("bad,fragment", [
+    ("bogus r1, r2", "unknown mnemonic"),
+    ("li r1", "expects 2"),
+    ("li r1, xyz", "bad integer"),
+    ("load r1, r2", "bad memory operand"),
+    ("add.w r1, r2, r3", "width suffix"),
+    ("jmp nowhere\nhalt", "unknown label"),
+    ("li f1, 5", "not an integer register"),
+])
+def test_errors(bad, fragment):
+    with pytest.raises(AssemblerError) as excinfo:
+        assemble(bad)
+    assert fragment in str(excinfo.value)
+
+
+def test_error_carries_line_number():
+    with pytest.raises(AssemblerError) as excinfo:
+        assemble("nop\nbogus x\n")
+    assert "line 2" in str(excinfo.value)
+
+
+def test_duplicate_label_error():
+    with pytest.raises(AssemblerError):
+        assemble("a:\nnop\na:\nnop\n")
+
+
+def _roundtrip(program):
+    return assemble(disassemble(program), name=program.name)
+
+
+def test_roundtrip_handwritten():
+    program = (ProgramBuilder("rt")
+               .li("r1", 5)
+               .fli("f0", 1.25)
+               .label("top")
+               .load("r2", "r1", 8)
+               .load("r3", "r1", 0, width=4)
+               .store("r1", "r2", 16)
+               .fdiv("f1", "f0", "f0")
+               .beq("r2", "r3", "top")
+               .rdtsc("r4")
+               .halt()
+               .build())
+    again = _roundtrip(program)
+    assert again.instructions == program.instructions
+    assert again.labels == program.labels
+
+
+# --- property-based round-trip ------------------------------------------
+
+_int_regs = st.sampled_from([f"r{i}" for i in range(16)])
+_fp_regs = st.sampled_from([f"f{i}" for i in range(16)])
+_imm = st.integers(min_value=-2**31, max_value=2**31 - 1)
+_offset = st.integers(min_value=-4096, max_value=4096)
+_width = st.sampled_from([4, 8])
+
+
+@st.composite
+def _instruction(draw):
+    kind = draw(st.sampled_from(
+        ["li", "alu3", "alui", "fp3", "load", "store", "misc"]))
+    if kind == "li":
+        return ins.li(draw(_int_regs), draw(_imm))
+    if kind == "alu3":
+        ctor = draw(st.sampled_from(
+            [ins.add, ins.sub, ins.xor, ins.mul, ins.div, ins.shl]))
+        return ctor(draw(_int_regs), draw(_int_regs), draw(_int_regs))
+    if kind == "alui":
+        ctor = draw(st.sampled_from([ins.addi, ins.andi, ins.shri]))
+        return ctor(draw(_int_regs), draw(_int_regs),
+                    draw(st.integers(min_value=0, max_value=63)))
+    if kind == "fp3":
+        ctor = draw(st.sampled_from([ins.fadd, ins.fmul, ins.fdiv]))
+        return ctor(draw(_fp_regs), draw(_fp_regs), draw(_fp_regs))
+    if kind == "load":
+        return ins.load(draw(_int_regs), draw(_int_regs), draw(_offset),
+                        draw(_width))
+    if kind == "store":
+        return ins.store(draw(_int_regs), draw(_int_regs), draw(_offset),
+                         draw(_width))
+    ctor = draw(st.sampled_from([ins.nop, ins.fence, ins.tend]))
+    return ctor()
+
+
+@given(st.lists(_instruction(), min_size=1, max_size=30))
+@settings(max_examples=60, deadline=None)
+def test_roundtrip_property(instrs):
+    builder = ProgramBuilder("prop")
+    for instr in instrs:
+        builder.emit(instr)
+    builder.halt()
+    program = builder.build()
+    again = _roundtrip(program)
+    assert again.instructions == program.instructions

@@ -1,0 +1,91 @@
+import pytest
+
+from repro.isa import instructions as ins
+from repro.isa.instructions import Opcode
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        ins.add("f1", "r1", "r2")      # fp dest on int op
+    with pytest.raises(ValueError):
+        ins.fadd("r1", "f1", "f2")     # int dest on fp op
+    with pytest.raises(ValueError):
+        ins.load("r1", "f2")           # fp base register
+    with pytest.raises(ValueError):
+        ins.load("r1", "r2", width=2)  # bad width
+
+
+def test_sources_and_dest():
+    instr = ins.add("r1", "r2", "r3")
+    assert instr.sources() == ("r2", "r3")
+    assert instr.dest() == "r1"
+    assert ins.li("r1", 5).sources() == ()
+    assert ins.jmp("x").dest() is None
+    store = ins.store("r1", "r2", 8)
+    assert store.sources() == ("r1", "r2")
+    assert store.dest() is None
+
+
+def test_classification_properties():
+    assert ins.load("r1", "r2").is_load
+    assert ins.load("r1", "r2").is_memory
+    assert not ins.load("r1", "r2").is_store
+    assert ins.fstore("r1", "f2").is_store
+    assert ins.beq("r1", "r2", "t").is_branch
+    assert ins.beq("r1", "r2", "t").is_cond_branch
+    assert ins.jmp("t").is_branch
+    assert not ins.jmp("t").is_cond_branch
+    assert not ins.mul("r1", "r2", "r3").is_memory
+
+
+def test_width_stored():
+    assert ins.load("r1", "r2", width=4).width == 4
+    assert ins.store("r1", "r2").width == 8
+
+
+def test_immediate_coercion():
+    assert ins.li("r1", 3.0).imm == 3
+    assert isinstance(ins.fli("f1", 3).imm, float)
+
+
+def test_formatting_covers_all_shapes():
+    samples = [
+        ins.li("r1", 5),
+        ins.fli("f1", 2.5),
+        ins.mov("r1", "r2"),
+        ins.add("r1", "r2", "r3"),
+        ins.addi("r1", "r2", 7),
+        ins.fdiv("f1", "f2", "f3"),
+        ins.load("r1", "r2", 16),
+        ins.load("r1", "r2", 16, width=4),
+        ins.store("r1", "r2", -8),
+        ins.beq("r1", "r2", "target"),
+        ins.jmp("target"),
+        ins.tbegin("fallback"),
+        ins.rdtsc("r1"),
+        ins.rdrand("r2"),
+        ins.fence(),
+        ins.halt(),
+        ins.nop(),
+        ins.tend(),
+        ins.tabort(),
+    ]
+    for instr in samples:
+        text = str(instr)
+        assert instr.op.value in text
+
+
+def test_comment_in_formatting():
+    instr = ins.load("r1", "r2", comment="replay-handle")
+    assert "replay-handle" in str(instr)
+
+
+def test_comment_not_compared():
+    a = ins.add("r1", "r2", "r3", comment="x")
+    b = ins.add("r1", "r2", "r3", comment="y")
+    assert a == b
+
+
+def test_opcode_enum_unique_mnemonics():
+    values = [op.value for op in Opcode]
+    assert len(values) == len(set(values))

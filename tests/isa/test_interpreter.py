@@ -1,0 +1,126 @@
+import math
+
+import pytest
+
+from repro.isa.interpreter import Interpreter, InterpreterError, run_program
+from repro.isa.program import ProgramBuilder
+
+
+def test_arithmetic_and_masking():
+    state = run_program(ProgramBuilder()
+                        .li("r1", (1 << 63))
+                        .add("r2", "r1", "r1")   # wraps to 0
+                        .li("r3", 5)
+                        .mul("r4", "r3", "r3")
+                        .halt().build())
+    assert state.int_regs["r2"] == 0
+    assert state.int_regs["r4"] == 25
+
+
+def test_loop_semantics():
+    state = run_program(ProgramBuilder()
+                        .li("r1", 0).li("r2", 17)
+                        .label("l")
+                        .addi("r1", "r1", 1)
+                        .bne("r1", "r2", "l")
+                        .halt().build())
+    assert state.int_regs["r1"] == 17
+
+
+def test_memory_roundtrip():
+    state = run_program(ProgramBuilder()
+                        .li("r1", 0x1000)
+                        .li("r2", 99)
+                        .store("r1", "r2", 8)
+                        .load("r3", "r1", 8)
+                        .halt().build())
+    assert state.int_regs["r3"] == 99
+    assert state.memory[0x1008] == 99
+
+
+def test_initial_memory():
+    state = run_program(ProgramBuilder()
+                        .li("r1", 0x2000)
+                        .load("r2", "r1", 0)
+                        .halt().build(),
+                        memory={0x2000: 1234})
+    assert state.int_regs["r2"] == 1234
+
+
+def test_fp_semantics():
+    state = run_program(ProgramBuilder()
+                        .fli("f1", 7.0).fli("f2", 2.0)
+                        .fdiv("f3", "f1", "f2")
+                        .fli("f4", 0.0)
+                        .fdiv("f5", "f1", "f4")
+                        .halt().build())
+    assert state.fp_regs["f3"] == 3.5
+    assert state.fp_regs["f5"] == math.inf
+
+
+def test_signed_branches():
+    state = run_program(ProgramBuilder()
+                        .li("r1", 0).subi("r1", "r1", 1)   # -1
+                        .li("r2", 0)
+                        .bge("r1", "r2", "big")
+                        .li("r3", 1)                        # -1 < 0
+                        .halt()
+                        .label("big")
+                        .li("r3", 2)
+                        .halt().build())
+    assert state.int_regs["r3"] == 1
+
+
+def test_rdrand_seeded():
+    program = ProgramBuilder().rdrand("r1").halt().build()
+    a = run_program(program, rdrand_seed=5).int_regs["r1"]
+    b = run_program(program, rdrand_seed=5).int_regs["r1"]
+    c = run_program(program, rdrand_seed=6).int_regs["r1"]
+    assert a == b and a != c
+
+
+def test_transaction_commit():
+    state = run_program(ProgramBuilder()
+                        .li("r1", 0x100).li("r2", 3)
+                        .tbegin("fb")
+                        .store("r1", "r2", 0)
+                        .tend()
+                        .halt()
+                        .label("fb")
+                        .halt().build())
+    assert state.memory[0x100] == 3
+
+
+def test_transaction_abort_rolls_back():
+    state = run_program(ProgramBuilder()
+                        .li("r1", 0x100).li("r2", 3).li("r4", 7)
+                        .tbegin("fb")
+                        .li("r4", 99)
+                        .store("r1", "r2", 0)
+                        .tabort()
+                        .tend()
+                        .halt()
+                        .label("fb")
+                        .li("r5", 1)
+                        .halt().build())
+    assert 0x100 not in state.memory
+    assert state.int_regs["r4"] == 7
+    assert state.int_regs["r5"] == 1
+    assert state.int_regs["r15"] == 1   # abort tally, as on the core
+
+
+def test_runaway_detected():
+    program = ProgramBuilder().label("s").jmp("s").build()
+    with pytest.raises(InterpreterError):
+        Interpreter(program).run(max_steps=50)
+
+
+def test_falls_off_end_without_halt():
+    state = run_program(ProgramBuilder().li("r1", 4).build())
+    assert state.int_regs["r1"] == 4
+
+
+def test_rdtsc_counts_retired():
+    state = run_program(ProgramBuilder()
+                        .nop().nop().rdtsc("r1").halt().build())
+    assert state.int_regs["r1"] == 3

@@ -1,0 +1,116 @@
+import pytest
+
+from repro.isa import instructions as ins
+from repro.isa.instructions import INSTRUCTION_SIZE
+from repro.isa.program import Program, ProgramBuilder, ProgramError
+
+
+def build_sample():
+    return (ProgramBuilder("sample")
+            .li("r1", 10)
+            .label("loop")
+            .subi("r1", "r1", 1)
+            .bne("r1", "r0", "loop")
+            .halt()
+            .build())
+
+
+def test_builder_chaining_and_len():
+    program = build_sample()
+    assert len(program) == 4
+    assert program.name == "sample"
+
+
+def test_label_resolution():
+    program = build_sample()
+    assert program.resolve("loop") == 1
+    assert program.label_at(1) == "loop"
+    assert program.label_at(0) is None
+
+
+def test_target_index():
+    program = build_sample()
+    branch = program[2]
+    assert program.target_index(branch) == 1
+
+
+def test_unknown_label_rejected_at_build():
+    builder = ProgramBuilder().jmp("nowhere")
+    with pytest.raises(ProgramError):
+        builder.build()
+
+
+def test_duplicate_label_rejected():
+    builder = ProgramBuilder().label("a")
+    with pytest.raises(ProgramError):
+        builder.label("a")
+
+
+def test_label_out_of_range_rejected():
+    with pytest.raises(ProgramError):
+        Program("p", (ins.nop(),), {"x": 5})
+
+
+def test_resolve_unknown_label():
+    program = build_sample()
+    with pytest.raises(ProgramError):
+        program.resolve("missing")
+
+
+def test_target_index_requires_target():
+    program = build_sample()
+    with pytest.raises(ProgramError):
+        program.target_index(program[0])
+
+
+def test_code_size():
+    program = build_sample()
+    assert program.code_size() == 4 * INSTRUCTION_SIZE
+
+
+def test_find_by_comment():
+    program = (ProgramBuilder()
+               .load("r1", "r2", comment="replay-handle")
+               .load("r3", "r2", comment="other")
+               .halt()
+               .build())
+    assert program.find("replay-handle") == [0]
+    assert program.find_one("replay-handle") == 0
+    with pytest.raises(ProgramError):
+        program.find_one("missing")
+
+
+def test_find_one_rejects_duplicates():
+    program = (ProgramBuilder()
+               .nop(comment="x")
+               .nop(comment="x")
+               .halt()
+               .build())
+    with pytest.raises(ProgramError):
+        program.find_one("x")
+
+
+def test_listing_contains_labels_and_instructions():
+    text = build_sample().listing()
+    assert "loop:" in text
+    assert "subi r1, r1, 1" in text
+
+
+def test_bind_label_explicit_index():
+    builder = ProgramBuilder().nop().nop().halt()
+    builder.bind_label("mid", 1)
+    program = builder.build()
+    assert program.resolve("mid") == 1
+
+
+def test_trailing_label_allowed():
+    program = (ProgramBuilder().nop().label("end").build())
+    assert program.resolve("end") == 1
+
+
+def test_extend_and_emit():
+    prog = (ProgramBuilder()
+            .emit(ins.nop())
+            .extend([ins.nop(), ins.halt()])
+            .build())
+    assert len(prog) == 3

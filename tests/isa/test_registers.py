@@ -1,0 +1,46 @@
+import pytest
+
+from repro.isa import registers
+
+
+def test_register_name_lists():
+    assert len(registers.INT_REGS) == 16
+    assert len(registers.FP_REGS) == 16
+    assert registers.INT_REGS[0] == "r0"
+    assert registers.FP_REGS[15] == "f15"
+
+
+def test_classification():
+    assert registers.is_int_reg("r3")
+    assert not registers.is_int_reg("f3")
+    assert registers.is_fp_reg("f3")
+    assert not registers.is_fp_reg("r3")
+    assert registers.is_reg("r15") and registers.is_reg("f0")
+    assert not registers.is_reg("r16")
+    assert not registers.is_reg("x1")
+
+
+def test_check_helpers_pass_through():
+    assert registers.check_int_reg("r7") == "r7"
+    assert registers.check_fp_reg("f7") == "f7"
+    assert registers.check_reg("r0") == "r0"
+
+
+@pytest.mark.parametrize("checker,bad", [
+    (registers.check_int_reg, "f0"),
+    (registers.check_int_reg, "r99"),
+    (registers.check_fp_reg, "r0"),
+    (registers.check_reg, "bogus"),
+])
+def test_check_helpers_reject(checker, bad):
+    with pytest.raises(ValueError):
+        checker(bad)
+
+
+def test_fresh_regfiles_zeroed():
+    ints = registers.fresh_int_regfile()
+    fps = registers.fresh_fp_regfile()
+    assert all(v == 0 for v in ints.values())
+    assert all(v == 0.0 for v in fps.values())
+    assert set(ints) == set(registers.INT_REGS)
+    assert set(fps) == set(registers.FP_REGS)

@@ -1,0 +1,46 @@
+import pytest
+
+from repro.kernel.frames import FrameAllocator, OutOfMemoryError
+
+
+def test_allocation_skips_reserved():
+    alloc = FrameAllocator(64, reserved=16)
+    assert alloc.allocate() == 16
+
+
+def test_unique_until_exhaustion():
+    alloc = FrameAllocator(20, reserved=16)
+    frames = [alloc.allocate() for _ in range(4)]
+    assert len(set(frames)) == 4
+    with pytest.raises(OutOfMemoryError):
+        alloc.allocate()
+
+
+def test_free_recycles():
+    alloc = FrameAllocator(18, reserved=16)
+    a = alloc.allocate()
+    b = alloc.allocate()
+    alloc.free(a)
+    assert alloc.allocate() == a
+    assert alloc.allocated_count == 2
+
+
+def test_double_free_rejected():
+    alloc = FrameAllocator(64)
+    frame = alloc.allocate()
+    alloc.free(frame)
+    with pytest.raises(ValueError):
+        alloc.free(frame)
+
+
+def test_is_allocated():
+    alloc = FrameAllocator(64)
+    frame = alloc.allocate()
+    assert alloc.is_allocated(frame)
+    alloc.free(frame)
+    assert not alloc.is_allocated(frame)
+
+
+def test_reserved_must_fit():
+    with pytest.raises(ValueError):
+        FrameAllocator(8, reserved=8)

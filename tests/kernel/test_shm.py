@@ -1,0 +1,71 @@
+import pytest
+
+from repro.isa.program import ProgramBuilder
+from repro.kernel.shm import (
+    CTRL_WORD,
+    MONITOR_START,
+    STATUS_WORD,
+    SharedChannel,
+)
+
+
+def test_same_frame_mapped_into_two_processes(kernel):
+    p1 = kernel.create_process("a")
+    p2 = kernel.create_process("b")
+    channel = SharedChannel(kernel, "chan")
+    va1 = channel.map_into(p1)
+    va2 = channel.map_into(p2)
+    p1.write(va1 + 16, 4242)
+    assert p2.read(va2 + 16) == 4242
+
+
+def test_va_for_unmapped_process_raises(kernel):
+    p1 = kernel.create_process("a")
+    channel = SharedChannel(kernel)
+    with pytest.raises(KeyError):
+        channel.va_for(p1)
+
+
+def test_kernel_side_read_write(kernel):
+    channel = SharedChannel(kernel)
+    channel.kernel_write(CTRL_WORD, MONITOR_START)
+    assert channel.kernel_read(CTRL_WORD) == MONITOR_START
+
+
+def test_offset_bounds(kernel):
+    channel = SharedChannel(kernel)
+    with pytest.raises(ValueError):
+        channel.kernel_write(4096, 1)
+
+
+def test_signal_monitor_and_status(kernel):
+    channel = SharedChannel(kernel)
+    channel.signal_monitor(MONITOR_START)
+    assert channel.kernel_read(CTRL_WORD) == MONITOR_START
+    channel.kernel_write(STATUS_WORD, 7)
+    assert channel.monitor_status() == 7
+
+
+def test_user_program_polls_kernel_signal(system):
+    """A user program spins until the Replayer writes the start
+    signal — the §5.2.2 signalling path, end to end."""
+    machine, kernel = system
+    process = kernel.create_process("monitor")
+    channel = SharedChannel(kernel)
+    base = channel.map_into(process)
+    program = (ProgramBuilder()
+               .li("r1", base)
+               .li("r2", MONITOR_START)
+               .label("wait")
+               .load("r3", "r1", CTRL_WORD)
+               .bne("r3", "r2", "wait")
+               .li("r4", 1)
+               .store("r1", "r4", STATUS_WORD)
+               .halt().build())
+    context = kernel.launch(process, program)
+    machine.run(2000)
+    assert not context.finished()          # still spinning
+    channel.signal_monitor(MONITOR_START)
+    machine.run(200_000)
+    assert context.finished()
+    assert channel.monitor_status() == 1

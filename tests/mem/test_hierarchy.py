@@ -1,0 +1,112 @@
+import pytest
+
+from repro.mem.cache import CacheConfig
+from repro.mem.hierarchy import DRAM_LEVEL, HierarchyConfig, MemoryHierarchy
+
+
+def tiny_hierarchy():
+    return MemoryHierarchy(HierarchyConfig(
+        levels=(
+            CacheConfig("L1D", size_bytes=2 * 64 * 2, ways=2, latency=4),
+            CacheConfig("L2", size_bytes=4 * 64 * 4, ways=4, latency=12),
+        ),
+        dram_latency=200,
+    ))
+
+
+def test_default_config_builds():
+    hierarchy = MemoryHierarchy()
+    assert [c.name for c in hierarchy.levels] == ["L1D", "L2", "L3"]
+
+
+def test_cold_miss_costs_full_path():
+    h = tiny_hierarchy()
+    assert h.access(0x1000) == 4 + 12 + 200
+    assert h.dram_accesses == 1
+
+
+def test_hit_after_fill():
+    h = tiny_hierarchy()
+    h.access(0x1000)
+    assert h.access(0x1000) == 4
+    assert h.peek_level(0x1000) == 0
+
+
+def test_l2_hit_refills_l1():
+    h = tiny_hierarchy()
+    h.access(0x1000)
+    h.level_named("L1D").invalidate(0x1000)
+    assert h.peek_level(0x1000) == 1
+    assert h.access(0x1000) == 4 + 12
+    assert h.peek_level(0x1000) == 0
+
+
+def test_flush_line_removes_everywhere():
+    h = tiny_hierarchy()
+    h.access(0x1000)
+    h.flush_line(0x1000)
+    assert h.peek_level(0x1000) == DRAM_LEVEL
+
+
+def test_flush_range():
+    h = tiny_hierarchy()
+    for offset in range(0, 256, 64):
+        h.access(0x2000 + offset)
+    h.flush_range(0x2000, 256)
+    for offset in range(0, 256, 64):
+        assert h.peek_level(0x2000 + offset) == DRAM_LEVEL
+
+
+def test_hit_latency_table():
+    h = tiny_hierarchy()
+    assert h.hit_latency(0) == 4
+    assert h.hit_latency(1) == 16
+    assert h.hit_latency(DRAM_LEVEL) == 4 + 12 + 200
+
+
+def test_eviction_victim_moves_down():
+    h = tiny_hierarchy()
+    # L1 set has 2 ways; touch 3 conflicting lines.
+    l1 = h.l1
+    lines = l1.lines_mapping_to(0x0, 3)
+    for line in lines:
+        h.access(line)
+    # The first line was evicted from L1 but should live in L2.
+    assert h.peek_level(lines[0]) == 1
+
+
+def test_prime_set_with_evicts_target():
+    h = tiny_hierarchy()
+    target = 0x3000
+    h.access(target)
+    h.prime_set_with(target, level=0)
+    assert not h.l1.contains(target)
+
+
+def test_touch_sums_latency():
+    h = tiny_hierarchy()
+    total = h.touch([0x100, 0x100])
+    assert total == (4 + 12 + 200) + 4
+
+
+def test_reset_stats():
+    h = tiny_hierarchy()
+    h.access(0x100)
+    h.reset_stats()
+    assert h.dram_accesses == 0
+    assert h.l1.stats.misses == 0
+
+
+def test_level_named_unknown():
+    h = tiny_hierarchy()
+    with pytest.raises(KeyError):
+        h.level_named("L9")
+
+
+def test_writes_mark_l1_dirty_and_writeback_path():
+    h = tiny_hierarchy()
+    h.access(0x4000, is_write=True)
+    # Evict it via conflicting fills; the dirty line should land in L2.
+    for line in h.l1.lines_mapping_to(0x4000, 2):
+        h.access(line)
+    assert h.peek_level(0x4000) == 1

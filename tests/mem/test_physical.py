@@ -1,0 +1,84 @@
+import pytest
+
+from repro.mem.physical import FRAME_SIZE, PhysicalMemory, PhysicalMemoryError
+
+
+def test_read_unwritten_is_zero():
+    mem = PhysicalMemory(16)
+    assert mem.read(0) == 0
+    assert mem.read(128, 4) == 0
+
+
+def test_write_read_roundtrip():
+    mem = PhysicalMemory(16)
+    mem.write(64, 0xDEADBEEF)
+    assert mem.read(64) == 0xDEADBEEF
+    mem.write(100, 7, width=4)
+    assert mem.read(100, 4) == 7
+
+
+def test_float_values_supported():
+    mem = PhysicalMemory(16)
+    mem.write(8, 2.5)
+    assert mem.read(8) == 2.5
+
+
+def test_misaligned_rejected():
+    mem = PhysicalMemory(16)
+    with pytest.raises(PhysicalMemoryError):
+        mem.read(3)
+    with pytest.raises(PhysicalMemoryError):
+        mem.write(6, 1, width=4)
+
+
+def test_bad_width_rejected():
+    mem = PhysicalMemory(16)
+    with pytest.raises(PhysicalMemoryError):
+        mem.read(0, 2)
+
+
+def test_out_of_range_rejected():
+    mem = PhysicalMemory(2)
+    with pytest.raises(PhysicalMemoryError):
+        mem.read(2 * FRAME_SIZE)
+    with pytest.raises(PhysicalMemoryError):
+        mem.write(-8, 0)
+
+
+def test_frame_base():
+    mem = PhysicalMemory(4)
+    assert mem.frame_base(0) == 0
+    assert mem.frame_base(3) == 3 * FRAME_SIZE
+    with pytest.raises(PhysicalMemoryError):
+        mem.frame_base(4)
+
+
+def test_zero_frame_clears_contents():
+    mem = PhysicalMemory(4)
+    mem.write(FRAME_SIZE + 16, 99)
+    mem.write(FRAME_SIZE + 20, 5, width=4)
+    mem.zero_frame(1)
+    assert mem.read(FRAME_SIZE + 16) == 0
+    assert mem.read(FRAME_SIZE + 20, 4) == 0
+
+
+def test_zero_frame_leaves_neighbours():
+    mem = PhysicalMemory(4)
+    mem.write(0, 1)
+    mem.write(2 * FRAME_SIZE, 2)
+    mem.zero_frame(1)
+    assert mem.read(0) == 1
+    assert mem.read(2 * FRAME_SIZE) == 2
+
+
+def test_words_in_use():
+    mem = PhysicalMemory(4)
+    assert mem.words_in_use() == 0
+    mem.write(0, 1)
+    mem.write(8, 2)
+    assert mem.words_in_use() == 2
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        PhysicalMemory(0)

@@ -1,0 +1,104 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.replacement import (
+    LRUPolicy,
+    RandomPolicy,
+    TreePLRUPolicy,
+    make_policy,
+)
+
+
+def test_factory():
+    assert isinstance(make_policy("lru", 4), LRUPolicy)
+    assert isinstance(make_policy("plru", 4), TreePLRUPolicy)
+    assert isinstance(make_policy("random", 4), RandomPolicy)
+    with pytest.raises(ValueError):
+        make_policy("mru", 4)
+
+
+def test_lru_prefers_free_ways():
+    policy = LRUPolicy(4)
+    state = policy.new_state()
+    policy.on_fill(state, 0)
+    assert policy.choose_victim(state, [True, False, False, False]) == 1
+
+
+def test_lru_evicts_least_recent():
+    policy = LRUPolicy(4)
+    state = policy.new_state()
+    for way in range(4):
+        policy.on_fill(state, way)
+    policy.on_access(state, 0)  # refresh way 0
+    victim = policy.choose_victim(state, [True] * 4)
+    assert victim == 1
+
+
+def test_lru_invalidate_removes_from_order():
+    policy = LRUPolicy(4)
+    state = policy.new_state()
+    for way in range(4):
+        policy.on_fill(state, way)
+    policy.on_invalidate(state, 0)
+    assert 0 not in state
+
+
+def test_plru_requires_power_of_two():
+    with pytest.raises(ValueError):
+        TreePLRUPolicy(6)
+
+
+def test_plru_never_evicts_most_recent():
+    policy = TreePLRUPolicy(8)
+    state = policy.new_state()
+    for way in range(8):
+        policy.on_fill(state, way)
+    for way in range(8):
+        policy.on_access(state, way)
+        victim = policy.choose_victim(state, [True] * 8)
+        assert victim != way
+
+
+def test_random_policy_deterministic_with_seed():
+    a = RandomPolicy(4, seed=1)
+    b = RandomPolicy(4, seed=1)
+    occupied = [True] * 4
+    seq_a = [a.choose_victim(None, occupied) for _ in range(20)]
+    seq_b = [b.choose_victim(None, occupied) for _ in range(20)]
+    assert seq_a == seq_b
+
+
+def test_random_policy_prefers_free_way():
+    policy = RandomPolicy(4, seed=0)
+    assert policy.choose_victim(None, [True, True, False, True]) == 2
+
+
+@given(st.lists(st.integers(min_value=0, max_value=7), min_size=1,
+                max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_lru_matches_reference_model(accesses):
+    """LRU policy agrees with an ordered-list reference."""
+    policy = LRUPolicy(8)
+    state = policy.new_state()
+    reference = []  # most recent last
+    for way in accesses:
+        policy.on_access(state, way)
+        if way in reference:
+            reference.remove(way)
+        reference.append(way)
+    occupied = [way in reference for way in range(8)]
+    if len(reference) == 8:
+        assert policy.choose_victim(state, occupied) == reference[0]
+
+
+@given(st.lists(st.integers(min_value=0, max_value=7), min_size=8,
+                max_size=100))
+@settings(max_examples=50, deadline=None)
+def test_plru_victim_always_valid(accesses):
+    policy = TreePLRUPolicy(8)
+    state = policy.new_state()
+    for way in accesses:
+        policy.on_access(state, way)
+    victim = policy.choose_victim(state, [True] * 8)
+    assert 0 <= victim < 8

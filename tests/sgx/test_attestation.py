@@ -1,0 +1,62 @@
+import pytest
+
+from repro.isa.program import ProgramBuilder
+from repro.sgx.attestation import (
+    AttestationReport,
+    MonotonicCounter,
+    RunOnceGuard,
+    measure_program,
+)
+
+
+def program_a():
+    return ProgramBuilder("a").li("r1", 1).halt().build()
+
+
+def program_b():
+    return ProgramBuilder("b").li("r1", 2).halt().build()
+
+
+def test_measurement_deterministic_and_distinct():
+    assert measure_program(program_a()) == measure_program(program_a())
+    assert measure_program(program_a()) != measure_program(program_b())
+
+
+def test_report_verifies():
+    report = AttestationReport.generate(program_a(), nonce=42)
+    assert report.verify(program_a(), nonce=42)
+
+
+def test_report_rejects_wrong_nonce():
+    report = AttestationReport.generate(program_a(), nonce=42)
+    assert not report.verify(program_a(), nonce=43)
+
+
+def test_report_rejects_wrong_program():
+    report = AttestationReport.generate(program_a(), nonce=42)
+    assert not report.verify(program_b(), nonce=42)
+
+
+def test_report_rejects_wrong_platform_key():
+    report = AttestationReport.generate(program_a(), nonce=1)
+    assert not report.verify(program_a(), nonce=1, platform_key="other")
+
+
+def test_monotonic_counter():
+    counter = MonotonicCounter()
+    assert counter.value == 0
+    assert counter.increment() == 1
+    assert counter.increment() == 2
+
+
+def test_run_once_guard_blocks_conventional_replay():
+    """The §3 threat-model defense: whole-enclave replay is blocked —
+    which is exactly why MicroScope's *microarchitectural* replay
+    matters."""
+    guard = RunOnceGuard()
+    guard.begin_run("tax-return-2019")
+    with pytest.raises(PermissionError):
+        guard.begin_run("tax-return-2019")
+    guard.begin_run("tax-return-2020")  # different input is fine
+    assert guard.runs_of("tax-return-2019") == 1
+    assert guard.runs_of("never-run") == 0

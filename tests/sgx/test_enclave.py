@@ -1,0 +1,116 @@
+import pytest
+
+from repro.isa.program import ProgramBuilder
+from repro.sgx.enclave import (
+    EnclaveConfig,
+    EnclaveProtectionError,
+    SGXPlatform,
+)
+
+
+@pytest.fixture
+def platform(system):
+    machine, kernel = system
+    return machine, kernel, SGXPlatform(kernel)
+
+
+def simple_program():
+    return ProgramBuilder("enclave-code").li("r1", 7).halt().build()
+
+
+def test_enclave_owns_private_region(platform):
+    _machine, kernel, sgx = platform
+    process = kernel.create_process("host")
+    enclave = sgx.create_enclave(process)
+    assert enclave.owns(enclave.private_base)
+    assert enclave.owns(enclave.private_base + enclave.private_size - 1)
+    assert not enclave.owns(enclave.private_base + enclave.private_size)
+    assert process.enclave is enclave
+
+
+def test_supervisor_access_denied(platform):
+    _machine, kernel, sgx = platform
+    process = kernel.create_process("host")
+    enclave = sgx.create_enclave(process)
+    with pytest.raises(EnclaveProtectionError):
+        sgx.supervisor_read(process, enclave.private_base)
+    with pytest.raises(EnclaveProtectionError):
+        sgx.supervisor_write(process, enclave.private_base, 1)
+
+
+def test_supervisor_access_allowed_outside_enclave(platform):
+    _machine, kernel, sgx = platform
+    process = kernel.create_process("host")
+    sgx.create_enclave(process)
+    public = process.alloc(4096, "public")
+    sgx.supervisor_write(process, public, 9)
+    assert sgx.supervisor_read(process, public) == 9
+
+
+def test_enclave_code_can_touch_private_memory(platform):
+    machine, kernel, sgx = platform
+    process = kernel.create_process("host")
+    enclave = sgx.create_enclave(process)
+    program = (ProgramBuilder("in-enclave")
+               .li("r1", enclave.private_base)
+               .li("r2", 1234)
+               .store("r1", "r2", 0)
+               .load("r3", "r1", 0)
+               .halt().build())
+    enclave.enter(machine.contexts[0], program)
+    machine.run(100_000)
+    assert machine.contexts[0].int_regs["r3"] == 1234
+
+
+def test_measurement_binds_program(platform):
+    machine, kernel, sgx = platform
+    process = kernel.create_process("host")
+    enclave = sgx.create_enclave(process)
+    program = simple_program()
+    enclave.load_code(program)
+    enclave.enter(machine.contexts[0], program)   # matches
+    other = ProgramBuilder("evil").li("r1", 8).halt().build()
+    with pytest.raises(EnclaveProtectionError):
+        enclave.enter(machine.contexts[0], other)
+
+
+def test_predictor_flushed_on_entry(platform):
+    machine, kernel, sgx = platform
+    process = kernel.create_process("host")
+    enclave = sgx.create_enclave(process)
+    machine.core.predictor.prime(3, taken=True)
+    enclave.enter(machine.contexts[0], simple_program())
+    from repro.cpu.branch import WEAK_NOT_TAKEN
+    assert machine.core.predictor.peek(3) == WEAK_NOT_TAKEN
+
+
+def test_predictor_flush_can_be_disabled(platform):
+    machine, kernel, sgx = platform
+    process = kernel.create_process("host")
+    enclave = sgx.create_enclave(
+        process, EnclaveConfig(flush_predictor_on_boundary=False))
+    machine.core.predictor.prime(3, taken=True)
+    enclave.enter(machine.contexts[0], simple_program())
+    from repro.cpu.branch import STRONG_TAKEN
+    assert machine.core.predictor.peek(3) == STRONG_TAKEN
+
+
+def test_aex_reports_page_aligned_address_only(platform):
+    machine, kernel, sgx = platform
+    process = kernel.create_process("host")
+    enclave = sgx.create_enclave(process)
+    data = process.alloc(4096, "data")
+    process.write(data + 0x128, 5)
+    kernel.set_present(process, data, False)
+    machine.hierarchy.flush_all()
+    machine.pwc.flush_all()
+    program = (ProgramBuilder("leaky")
+               .li("r1", data)
+               .load("r2", "r1", 0x128)
+               .halt().build())
+    enclave.enter(machine.contexts[0], program)
+    machine.run(200_000)
+    assert enclave.aex_count == 1
+    record = enclave.aex_log[0]
+    assert record.page_aligned_va == data        # offset masked
+    assert record.page_aligned_va % 4096 == 0

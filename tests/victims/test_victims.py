@@ -1,0 +1,153 @@
+"""Functional correctness of every victim program: they must compute
+the right thing when run unmolested."""
+
+import pytest
+
+from repro.crypto.aes import decrypt_block, encrypt_block
+from repro.victims import (
+    PIVOT,
+    REPLAY_HANDLE,
+    TRANSMIT,
+    setup_aes_victim,
+    setup_control_flow_victim,
+    setup_loop_secret_victim,
+    setup_port_contention_monitor,
+    setup_single_secret_victim,
+)
+from repro.victims.integrity import setup_rdrand_victim, setup_tsx_victim
+from tests.conftest import run_program
+
+
+def test_control_flow_victim_tags(kernel):
+    process = kernel.create_process("v")
+    victim = setup_control_flow_victim(process, secret=1)
+    assert victim.program.find(REPLAY_HANDLE)
+    assert victim.handle_index == victim.program.find_one(REPLAY_HANDLE)
+    transmits = [i for i, ins in
+                 enumerate(victim.program.instructions)
+                 if ins.comment.startswith(TRANSMIT)]
+    assert len(transmits) == 4  # 2 muls + 2 divs
+
+
+@pytest.mark.parametrize("secret", [0, 1])
+def test_control_flow_victim_runs(system, secret):
+    machine, kernel = system
+    process = kernel.create_process("v")
+    victim = setup_control_flow_victim(process, secret)
+    context = run_program(machine, kernel, victim.program,
+                          process=process)
+    # The counter was incremented exactly once.
+    assert process.read(victim.handle_va + 0x20) == 1
+
+
+def test_control_flow_victim_rejects_bad_secret(kernel):
+    process = kernel.create_process("v")
+    with pytest.raises(ValueError):
+        setup_control_flow_victim(process, secret=2)
+
+
+def test_monitor_measures_plausible_latencies(system):
+    machine, kernel = system
+    process = kernel.create_process("m")
+    monitor = setup_port_contention_monitor(process, measurements=50,
+                                            divs_per_sample=4)
+    run_program(machine, kernel, monitor.program, process=process,
+                max_cycles=500_000)
+    samples = monitor.read_samples(process)
+    assert len(samples) == 50
+    # Four non-pipelined 24-cycle divides: at least ~96 cycles.
+    assert all(s >= 4 * 24 for s in samples)
+    assert all(s < 400 for s in samples)
+
+
+def test_monitor_rejects_bad_params(kernel):
+    process = kernel.create_process("m")
+    with pytest.raises(ValueError):
+        setup_port_contention_monitor(process, measurements=0)
+
+
+def test_single_secret_victim_computes_division(system):
+    machine, kernel = system
+    process = kernel.create_process("v")
+    secrets = [float(i) for i in range(16)]
+    victim = setup_single_secret_victim(process, secrets, secret_id=6,
+                                        key=2.0)
+    run_program(machine, kernel, victim.program, process=process)
+    assert process.read(victim.result_va) == 3.0
+    assert process.read(victim.count_va) == 1
+
+
+def test_single_secret_bad_id(kernel):
+    process = kernel.create_process("v")
+    with pytest.raises(ValueError):
+        setup_single_secret_victim(process, [1.0], secret_id=5, key=1.0)
+
+
+def test_loop_secret_victim_touches_right_lines(system):
+    machine, kernel = system
+    process = kernel.create_process("v")
+    secrets = [3, 1, 4, 1, 5]
+    victim = setup_loop_secret_victim(process, secrets)
+    run_program(machine, kernel, victim.program, process=process,
+                max_cycles=500_000)
+    # Ground truth: the victim read table[secret*stride] per iteration.
+    for secret in set(secrets):
+        paddr = process.translate_any(victim.table_line_va(secret))
+        assert machine.hierarchy.peek_level(paddr) >= 0
+
+
+def test_loop_secret_rejects_out_of_range(kernel):
+    process = kernel.create_process("v")
+    with pytest.raises(ValueError):
+        setup_loop_secret_victim(process, [99], table_lines=16)
+    with pytest.raises(ValueError):
+        setup_loop_secret_victim(process, [])
+
+
+@pytest.mark.parametrize("key_len", [16, 24, 32])
+def test_aes_victim_decrypts_correctly(system, key_len):
+    machine, kernel = system
+    process = kernel.create_process("v")
+    key = bytes(range(key_len))
+    plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+    ciphertext = encrypt_block(key, plaintext)
+    victim = setup_aes_victim(process, key, ciphertext)
+    run_program(machine, kernel, victim.program, process=process,
+                max_cycles=2_000_000)
+    assert victim.read_plaintext(process) == plaintext
+
+
+def test_aes_victim_layout_separates_pages(kernel):
+    from repro.vm import address as vaddr
+    process = kernel.create_process("v")
+    key = bytes(16)
+    victim = setup_aes_victim(process, key, bytes(16))
+    pages = {vaddr.vpn(victim.rk_va)}
+    for va in victim.td_vas:
+        pages.add(vaddr.vpn(va))
+    assert len(pages) == 5  # rk + 4 Td tables, all distinct pages
+
+
+def test_aes_victim_tags(kernel):
+    process = kernel.create_process("v")
+    victim = setup_aes_victim(process, bytes(16), bytes(16))
+    assert victim.program.find_one(f"{REPLAY_HANDLE} rk-s0") >= 0
+    assert victim.program.find_one(f"{PIVOT} td0-s1") >= 0
+
+
+def test_rdrand_victim_commits_a_value(system):
+    machine, kernel = system
+    process = kernel.create_process("v")
+    victim = setup_rdrand_victim(process)
+    run_program(machine, kernel, victim.program, process=process)
+    assert victim.read_output(process) != 0
+
+
+def test_tsx_victim_commits_without_interference(system):
+    machine, kernel = system
+    process = kernel.create_process("v")
+    victim = setup_tsx_victim(process)
+    run_program(machine, kernel, victim.program, process=process,
+                max_cycles=500_000)
+    assert victim.read_output(process) != 0
+    assert victim.read_retries(process) == 0

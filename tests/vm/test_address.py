@@ -1,0 +1,67 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vm import address as vaddr
+
+
+def test_constants():
+    assert vaddr.PAGE_SIZE == 4096
+    assert vaddr.ENTRIES_PER_TABLE == 512
+    assert vaddr.NUM_LEVELS == 4
+    assert vaddr.MAX_VADDR == 1 << 48
+
+
+def test_split_known_value():
+    va = (3 << 39) | (5 << 30) | (7 << 21) | (9 << 12) | 0x123
+    assert vaddr.split(va) == (3, 5, 7, 9, 0x123)
+
+
+def test_level_index_bounds():
+    with pytest.raises(ValueError):
+        vaddr.level_index(0, 4)
+    with pytest.raises(ValueError):
+        vaddr.level_index(0, -1)
+
+
+def test_vpn_and_offset():
+    assert vaddr.vpn(0x5123) == 5
+    assert vaddr.page_offset(0x5123) == 0x123
+    assert vaddr.page_base(0x5123) == 0x5000
+
+
+def test_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        vaddr.vpn(1 << 48)
+    with pytest.raises(ValueError):
+        vaddr.check_vaddr(-1)
+
+
+def test_same_page():
+    assert vaddr.same_page(0x1000, 0x1FFF)
+    assert not vaddr.same_page(0x1FFF, 0x2000)
+
+
+def test_prefix_monotone_with_level():
+    va = 0x7FFF_1234_5678
+    assert vaddr.prefix(va, 0) == va >> 39
+    assert vaddr.prefix(va, 3) == va >> 12
+
+
+@given(st.integers(min_value=0, max_value=(1 << 48) - 1))
+@settings(max_examples=200, deadline=None)
+def test_split_reassembles(va):
+    i0, i1, i2, i3, offset = vaddr.split(va)
+    rebuilt = ((i0 << 39) | (i1 << 30) | (i2 << 21) | (i3 << 12)
+               | offset)
+    assert rebuilt == va
+    assert 0 <= offset < vaddr.PAGE_SIZE
+    for index in (i0, i1, i2, i3):
+        assert 0 <= index < vaddr.ENTRIES_PER_TABLE
+
+
+@given(st.integers(min_value=0, max_value=(1 << 48) - 1),
+       st.integers(min_value=0, max_value=3))
+@settings(max_examples=100, deadline=None)
+def test_prefix_consistent_with_level_index(va, level):
+    assert vaddr.prefix(va, level) & 0x1FF == vaddr.level_index(va, level)

@@ -1,0 +1,157 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel.frames import FrameAllocator
+from repro.mem.physical import PhysicalMemory
+from repro.vm import address as vaddr
+from repro.vm.pagetable import (
+    PTE_PRESENT,
+    PTE_USER,
+    PTE_WRITABLE,
+    PageTableError,
+    PageTables,
+    encode_entry,
+    entry_flags,
+    entry_frame,
+    entry_present,
+)
+
+
+@pytest.fixture
+def tables():
+    phys = PhysicalMemory(1024)
+    frames = FrameAllocator(1024)
+    return PageTables(phys, frames.allocate), phys, frames
+
+
+def test_entry_codec():
+    entry = encode_entry(0x123, PTE_PRESENT | PTE_WRITABLE)
+    assert entry_frame(entry) == 0x123
+    assert entry_flags(entry) == PTE_PRESENT | PTE_WRITABLE
+    assert entry_present(entry)
+    assert not entry_present(encode_entry(0x123, 0))
+
+
+def test_encode_rejects_negative_frame():
+    with pytest.raises(ValueError):
+        encode_entry(-1, 0)
+
+
+def test_map_and_translate(tables):
+    pt, phys, frames = tables
+    frame = frames.allocate()
+    pt.map(0x40000000, frame)
+    assert pt.translate(0x40000123) == (frame << 12) | 0x123
+
+
+def test_translate_unmapped_raises(tables):
+    pt, _phys, _frames = tables
+    with pytest.raises(PageTableError):
+        pt.translate(0xDEAD000)
+
+
+def test_software_walk_visits_four_levels(tables):
+    pt, _phys, frames = tables
+    frame = frames.allocate()
+    pt.map(0x1000, frame)
+    walk = pt.software_walk(0x1000)
+    assert walk.complete
+    assert [s.level for s in walk.steps] == [0, 1, 2, 3]
+    assert walk.present
+    assert walk.frame == frame
+    assert len(walk.entry_paddrs()) == 4
+
+
+def test_software_walk_stops_at_missing_upper_level(tables):
+    pt, _phys, _frames = tables
+    walk = pt.software_walk(0x123456789000)
+    assert not walk.complete
+    assert len(walk.steps) == 1
+    with pytest.raises(PageTableError):
+        walk.pte
+
+
+def test_set_present_toggle(tables):
+    pt, _phys, frames = tables
+    frame = frames.allocate()
+    pt.map(0x2000, frame)
+    assert pt.is_present(0x2000)
+    pt.set_present(0x2000, False)
+    assert not pt.is_present(0x2000)
+    with pytest.raises(PageTableError):
+        pt.translate(0x2000)
+    pt.set_present(0x2000, True)
+    assert pt.translate(0x2000) == frame << 12
+
+
+def test_clear_present_keeps_frame(tables):
+    pt, _phys, frames = tables
+    frame = frames.allocate()
+    pt.map(0x3000, frame)
+    pt.set_present(0x3000, False)
+    walk = pt.software_walk(0x3000)
+    assert walk.pte.frame == frame  # minor fault: translation intact
+
+
+def test_update_flags(tables):
+    pt, _phys, frames = tables
+    frame = frames.allocate()
+    pt.map(0x4000, frame, PTE_PRESENT)
+    pt.update_flags(0x4000, set_flags=PTE_USER)
+    walk = pt.software_walk(0x4000)
+    assert walk.pte.entry & PTE_USER
+    pt.update_flags(0x4000, clear_flags=PTE_USER)
+    walk = pt.software_walk(0x4000)
+    assert not walk.pte.entry & PTE_USER
+
+
+def test_unmap(tables):
+    pt, _phys, frames = tables
+    frame = frames.allocate()
+    pt.map(0x5000, frame)
+    pt.unmap(0x5000)
+    walk = pt.software_walk(0x5000)
+    assert not walk.present
+    assert walk.pte.entry == 0
+
+
+def test_distinct_pages_distinct_leaf_entries(tables):
+    pt, _phys, frames = tables
+    pt.map(0x1000, frames.allocate())
+    pt.map(0x2000, frames.allocate())
+    assert pt.leaf_entry_paddr(0x1000) != pt.leaf_entry_paddr(0x2000)
+
+
+def test_entry_paddr_bounds():
+    with pytest.raises(PageTableError):
+        PageTables.entry_paddr(1, 512)
+
+
+def test_tables_live_in_physical_memory(tables):
+    """Page tables are real data: their entries are readable words."""
+    pt, phys, frames = tables
+    frame = frames.allocate()
+    pt.map(0x7000, frame)
+    leaf_paddr = pt.leaf_entry_paddr(0x7000)
+    raw = phys.read(leaf_paddr, 8)
+    assert entry_frame(raw) == frame
+    assert entry_present(raw)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=(1 << 36) - 1),
+                min_size=1, max_size=20, unique=True))
+@settings(max_examples=25, deadline=None)
+def test_many_mappings_consistent(vpns):
+    """Property: map N pages, every translation resolves to its own
+    frame and walks are complete."""
+    phys = PhysicalMemory(1 << 14)
+    frames = FrameAllocator(1 << 14)
+    pt = PageTables(phys, frames.allocate)
+    mapping = {}
+    for vpn in vpns:
+        frame = frames.allocate()
+        pt.map(vpn << 12, frame)
+        mapping[vpn] = frame
+    for vpn, frame in mapping.items():
+        assert pt.translate(vpn << 12) == frame << 12

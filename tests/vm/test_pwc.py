@@ -1,0 +1,76 @@
+from repro.vm import address as vaddr
+from repro.vm.pwc import PageWalkCache, PWCConfig
+
+
+def test_leaf_level_never_cached():
+    pwc = PageWalkCache()
+    pwc.insert(1, 0x1000, 3, 0xABC)
+    assert pwc.lookup(1, 0x1000, 3) is None
+    assert len(pwc) == 0
+
+
+def test_upper_levels_cached():
+    pwc = PageWalkCache()
+    for level in (0, 1, 2):
+        pwc.insert(1, 0x1000, level, 0x100 + level)
+    for level in (0, 1, 2):
+        assert pwc.lookup(1, 0x1000, level) == 0x100 + level
+
+
+def test_pcid_tagging():
+    pwc = PageWalkCache()
+    pwc.insert(1, 0x1000, 0, 0xAA)
+    assert pwc.lookup(2, 0x1000, 0) is None
+
+
+def test_shared_prefix_hits():
+    """Two addresses sharing the upper walk path share PWC entries."""
+    pwc = PageWalkCache()
+    va1 = 0x1000
+    va2 = 0x1000 + vaddr.PAGE_SIZE  # same PGD/PUD/PMD path
+    pwc.insert(1, va1, 0, 0xAA)
+    assert vaddr.prefix(va1, 0) == vaddr.prefix(va2, 0)
+    assert pwc.lookup(1, va2, 0) == 0xAA
+
+
+def test_distinct_pmd_paths_do_not_alias():
+    pwc = PageWalkCache()
+    va1 = 0x1000
+    va2 = 0x1000 + (1 << 21)  # different PMD entry
+    pwc.insert(1, va1, 2, 0xAA)
+    assert pwc.lookup(1, va2, 2) is None
+
+
+def test_lru_capacity():
+    pwc = PageWalkCache(PWCConfig(entries=2))
+    pwc.insert(1, 0x0, 0, 1)
+    pwc.insert(1, 1 << 39, 0, 2)
+    pwc.lookup(1, 0x0, 0)              # refresh first
+    pwc.insert(1, 2 << 39, 0, 3)       # evicts second
+    assert pwc.lookup(1, 0x0, 0) == 1
+    assert pwc.lookup(1, 1 << 39, 0) is None
+
+
+def test_invalidate_va():
+    pwc = PageWalkCache()
+    for level in (0, 1, 2):
+        pwc.insert(1, 0x1000, level, level)
+    pwc.invalidate_va(1, 0x1000)
+    for level in (0, 1, 2):
+        assert pwc.lookup(1, 0x1000, level) is None
+
+
+def test_flush_all():
+    pwc = PageWalkCache()
+    pwc.insert(1, 0x1000, 0, 5)
+    pwc.flush_all()
+    assert len(pwc) == 0
+
+
+def test_stats():
+    pwc = PageWalkCache()
+    pwc.lookup(1, 0x1000, 0)
+    pwc.insert(1, 0x1000, 0, 5)
+    pwc.lookup(1, 0x1000, 0)
+    assert pwc.stats.misses == 1
+    assert pwc.stats.hits == 1

@@ -1,0 +1,136 @@
+import pytest
+
+from repro.vm.tlb import TLB, TLBConfig, TLBHierarchy, TLBHierarchyConfig
+
+
+def small_tlb(entries=8, ways=2):
+    return TLB(TLBConfig("T", entries=entries, ways=ways))
+
+
+def test_geometry_validation():
+    with pytest.raises(ValueError):
+        TLBConfig("bad", entries=10, ways=3).num_sets
+
+
+def test_miss_then_hit():
+    tlb = small_tlb()
+    assert tlb.lookup(1, 0x40) is None
+    tlb.insert(1, 0x40, frame=7)
+    entry = tlb.lookup(1, 0x40)
+    assert entry is not None and entry.frame == 7
+    assert tlb.stats.hits == 1 and tlb.stats.misses == 1
+
+
+def test_pcid_isolation():
+    tlb = small_tlb()
+    tlb.insert(1, 0x40, frame=7)
+    assert tlb.lookup(2, 0x40) is None
+
+
+def test_lru_within_set():
+    tlb = small_tlb(entries=4, ways=2)  # 2 sets
+    # vpns 0 and 2 map to set 0.
+    tlb.insert(1, 0, frame=10)
+    tlb.insert(1, 2, frame=20)
+    tlb.lookup(1, 0)            # refresh vpn 0
+    tlb.insert(1, 4, frame=30)  # set 0 full: evicts vpn 2
+    assert tlb.contains(1, 0)
+    assert not tlb.contains(1, 2)
+    assert tlb.stats.evictions == 1
+
+
+def test_insert_updates_existing():
+    tlb = small_tlb()
+    tlb.insert(1, 0x40, frame=7)
+    tlb.insert(1, 0x40, frame=9)
+    assert tlb.lookup(1, 0x40).frame == 9
+    assert tlb.occupancy() == 1
+
+
+def test_invalidate():
+    tlb = small_tlb()
+    tlb.insert(1, 0x40, frame=7)
+    assert tlb.invalidate(1, 0x40)
+    assert not tlb.contains(1, 0x40)
+    assert not tlb.invalidate(1, 0x40)
+
+
+def test_flush_pcid():
+    tlb = small_tlb()
+    tlb.insert(1, 0x40, frame=7)
+    tlb.insert(2, 0x41, frame=8)
+    tlb.flush_pcid(1)
+    assert not tlb.contains(1, 0x40)
+    assert tlb.contains(2, 0x41)
+
+
+def test_flush_all():
+    tlb = small_tlb()
+    tlb.insert(1, 0x40, frame=7)
+    tlb.flush_all()
+    assert tlb.occupancy() == 0
+
+
+# --- two-level hierarchy -----------------------------------------------
+
+
+def test_hierarchy_insert_fills_l1_and_l2():
+    h = TLBHierarchy()
+    h.insert(1, 0x10, frame=5)
+    assert h.l1d.contains(1, 0x10)
+    assert h.l2.contains(1, 0x10)
+    assert not h.l1i.contains(1, 0x10)
+
+
+def test_hierarchy_l2_hit_refills_l1():
+    h = TLBHierarchy()
+    h.insert(1, 0x10, frame=5)
+    h.l1d.invalidate(1, 0x10)
+    entry, latency = h.lookup(1, 0x10)
+    assert entry.frame == 5
+    assert latency == h.l1d.latency + h.l2.latency
+    assert h.l1d.contains(1, 0x10)
+
+
+def test_hierarchy_l1_hit_latency():
+    h = TLBHierarchy()
+    h.insert(1, 0x10, frame=5)
+    _entry, latency = h.lookup(1, 0x10)
+    assert latency == h.l1d.latency
+
+
+def test_hierarchy_miss_latency():
+    h = TLBHierarchy()
+    entry, latency = h.lookup(1, 0x99)
+    assert entry is None
+    assert latency == h.l1d.latency + h.l2.latency
+
+
+def test_hierarchy_instruction_side():
+    h = TLBHierarchy()
+    h.insert(1, 0x10, frame=5, is_instruction=True)
+    assert h.l1i.contains(1, 0x10)
+    assert not h.l1d.contains(1, 0x10)
+    entry, _lat = h.lookup(1, 0x10, is_instruction=True)
+    assert entry is not None
+
+
+def test_hierarchy_invalidate_everywhere():
+    h = TLBHierarchy()
+    h.insert(1, 0x10, frame=5)
+    h.insert(1, 0x10, frame=5, is_instruction=True)
+    h.invalidate(1, 0x10)
+    assert not h.l1d.contains(1, 0x10)
+    assert not h.l1i.contains(1, 0x10)
+    assert not h.l2.contains(1, 0x10)
+
+
+def test_hierarchy_flush_pcid_and_all():
+    h = TLBHierarchy()
+    h.insert(1, 0x10, frame=5)
+    h.insert(2, 0x20, frame=6)
+    h.flush_pcid(1)
+    assert not h.l2.contains(1, 0x10)
+    assert h.l2.contains(2, 0x20)
+    h.flush_all()
+    assert h.l2.occupancy() == 0

@@ -1,0 +1,52 @@
+"""Property-based TLB validation against a reference model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vm.tlb import TLB, TLBConfig
+
+_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "lookup", "invalidate",
+                         "flush_pcid"]),
+        st.integers(min_value=1, max_value=3),        # pcid
+        st.integers(min_value=0, max_value=31),       # vpn
+    ),
+    max_size=300)
+
+
+@given(_OPS)
+@settings(max_examples=50, deadline=None)
+def test_tlb_never_lies(ops):
+    """Whatever the eviction pattern, a TLB hit must return the frame
+    most recently inserted for that (pcid, vpn); misses are always
+    allowed (capacity), stale hits never."""
+    tlb = TLB(TLBConfig("T", entries=8, ways=2))
+    reference = {}
+    for op, pcid, vpn in ops:
+        if op == "insert":
+            frame = (pcid << 8) | vpn
+            tlb.insert(pcid, vpn, frame=frame)
+            reference[(pcid, vpn)] = frame
+        elif op == "lookup":
+            entry = tlb.lookup(pcid, vpn)
+            if entry is not None:
+                assert (pcid, vpn) in reference
+                assert entry.frame == reference[(pcid, vpn)]
+        elif op == "invalidate":
+            tlb.invalidate(pcid, vpn)
+            reference.pop((pcid, vpn), None)
+        else:
+            tlb.flush_pcid(pcid)
+            reference = {k: v for k, v in reference.items()
+                         if k[0] != pcid}
+
+
+@given(_OPS)
+@settings(max_examples=30, deadline=None)
+def test_tlb_capacity_respected(ops):
+    tlb = TLB(TLBConfig("T", entries=8, ways=2))
+    for op, pcid, vpn in ops:
+        if op == "insert":
+            tlb.insert(pcid, vpn, frame=1)
+        assert tlb.occupancy() <= 8
