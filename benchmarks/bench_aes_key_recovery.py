@@ -15,6 +15,7 @@ recovers completely from a handful of single-run extractions.
 
 from repro.core.attacks.aes_key_recovery import AESKeyRecoveryAttack
 from repro.crypto.aes import encrypt_block
+from repro.harness import default_workers
 
 from conftest import emit, render_table
 
@@ -27,12 +28,16 @@ def test_key_recovery_from_attack_windows(once):
     ciphertexts = [encrypt_block(KEY, p) for p in PLAINTEXTS]
 
     def experiment():
+        # Blocks are independent victim runs: extract each once, in
+        # parallel, then intersect prefixes to chart recovery vs
+        # block count (run_sweep is order-deterministic, so worker
+        # count never changes the table).
         attack = AESKeyRecoveryAttack(KEY)
-        per_block = []
-        for count in range(1, len(ciphertexts) + 1):
-            result = attack.run(ciphertexts[:count])
-            per_block.append((count, result))
-        return per_block
+        workers = min(default_workers(), len(ciphertexts))
+        attributions = attack.extract_blocks(ciphertexts,
+                                             workers=workers)
+        return [(count, attack.combine(attributions[:count]))
+                for count in range(1, len(attributions) + 1)]
 
     per_block = once(experiment)
     rows = []

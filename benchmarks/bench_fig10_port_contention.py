@@ -14,7 +14,11 @@ latency histogram plus the above-threshold counts.
 
 from collections import Counter
 
-from repro.core.attacks.port_contention import PortContentionAttack
+from repro.core.attacks.port_contention import (
+    PortContentionAttack,
+    run_figure10,
+)
+from repro.harness import default_workers
 
 from conftest import emit, full_scale, render_table
 
@@ -35,12 +39,14 @@ def test_figure10(once):
     attack = PortContentionAttack(measurements=measurements)
 
     def experiment():
-        threshold = attack.calibrate()
-        return (threshold,
-                attack.run(secret=0, threshold=threshold),
-                attack.run(secret=1, threshold=threshold))
+        # The two panels are independent simulations sharing only the
+        # calibrated threshold; run them as a 2-worker sweep.
+        panels = run_figure10(attack=attack,
+                              workers=min(default_workers(), 2))
+        return panels["mul"], panels["div"]
 
-    threshold, mul, div = once(experiment)
+    mul, div = once(experiment)
+    threshold = mul.threshold
 
     rows = []
     for label, result in (("mul (Fig. 10a)", mul), ("div (Fig. 10b)",

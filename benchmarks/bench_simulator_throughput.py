@@ -3,45 +3,89 @@
 Not a paper result — engineering telemetry so regressions in the
 cycle loop are visible in CI, and so experiment budgets in the other
 benches stay predictable.
+
+Beyond the spin loops, this bench runs the replay-attack workload
+twice — naive stepping vs the quiescence fast-forward scheduler — and
+asserts both that fast-forward is bit-exact (same cycles, same machine
+report) and that it actually pays (>= 3x simulated-cycles/host-second).
+``benchmarks/results/simulator_throughput.json`` records the numbers
+machine-readably; CI diffs fresh measurements against the committed
+copy and fails on a >2x regression.
 """
 
-from repro.cpu.machine import Machine
-from repro.isa.program import ProgramBuilder
-
-from conftest import emit
-
-
-def _busy_program(iterations):
-    return (ProgramBuilder("spin")
-            .li("r1", 0).li("r2", iterations).li("r3", 7)
-            .label("loop")
-            .mul("r4", "r3", "r3")
-            .addi("r1", "r1", 1)
-            .bne("r1", "r2", "loop")
-            .halt().build())
+from conftest import emit, emit_json, full_scale
+from throughput_workloads import (
+    run_replay_attack,
+    run_spin,
+    timed,
+)
 
 
 def test_single_context_throughput(benchmark):
     def run():
-        machine = Machine()
-        machine.contexts[0].load_program(_busy_program(5000))
-        machine.run(100_000)
-        return machine.cycle
+        return run_spin(5000, contexts=1)
 
     cycles = benchmark(run)
-    emit("simulator_throughput",
-         f"single-context run: {cycles} simulated cycles per call\n"
-         f"(see pytest-benchmark table for host time)")
     assert cycles > 5000
 
 
 def test_smt_throughput(benchmark):
     def run():
-        machine = Machine()
-        machine.contexts[0].load_program(_busy_program(2500))
-        machine.contexts[1].load_program(_busy_program(2500))
-        machine.run(100_000)
-        return machine.cycle
+        return run_spin(5000, contexts=2)
 
     cycles = benchmark(run)
     assert cycles > 2500
+
+
+def test_replay_attack_throughput(once):
+    """The headline number: replay-attack simulation speed, naive vs
+    fast-forward, proven bit-exact on the full machine report."""
+    replays = 2000 if full_scale() else 200
+
+    def experiment():
+        (naive_cycles, naive_report), naive_host = timed(
+            run_replay_attack, False, replays)
+        (fast_cycles, fast_report), fast_host = timed(
+            run_replay_attack, True, replays)
+        return (naive_cycles, naive_report, naive_host,
+                fast_cycles, fast_report, fast_host)
+
+    (naive_cycles, naive_report, naive_host,
+     fast_cycles, fast_report, fast_host) = once(experiment)
+
+    # Bit-exactness: cycle count and the entire stats snapshot agree.
+    assert fast_cycles == naive_cycles
+    assert fast_report == naive_report
+
+    # Spin-loop rates for the JSON artefact (single timed run each).
+    spin_cycles, spin_host = timed(run_spin, 5000, 1)
+    smt_cycles, smt_host = timed(run_spin, 5000, 2)
+
+    naive_cps = naive_cycles / naive_host
+    fast_cps = fast_cycles / fast_host
+    speedup = fast_cps / naive_cps
+    payload = {
+        "scale": "full" if full_scale() else "quick",
+        "replays": replays,
+        "replay_simulated_cycles": naive_cycles,
+        "cycles_per_host_second": {
+            "single_context_spin": round(spin_cycles / spin_host),
+            "smt_spin": round(smt_cycles / smt_host),
+            "replay_attack_naive": round(naive_cps),
+            "replay_attack_fast_forward": round(fast_cps),
+        },
+        "fast_forward_speedup": round(speedup, 2),
+        "fast_forward_bit_exact": True,
+    }
+    emit_json("simulator_throughput", payload)
+    emit("simulator_throughput",
+         f"replay-attack workload: {naive_cycles} simulated cycles\n"
+         f"naive stepping:  {naive_cps:,.0f} cycles/host-second\n"
+         f"fast-forward:    {fast_cps:,.0f} cycles/host-second "
+         f"({speedup:.1f}x, bit-exact)\n"
+         f"spin loop:       {spin_cycles / spin_host:,.0f} "
+         f"cycles/host-second (1 ctx), "
+         f"{smt_cycles / smt_host:,.0f} (2 ctx)")
+
+    assert speedup >= 3.0, (
+        f"fast-forward speedup {speedup:.2f}x below the 3x floor")

@@ -1,0 +1,78 @@
+"""CI throughput smoke check.
+
+Measures simulated-cycles/host-second on the replay-attack workload
+(fast-forward on, the configuration experiments actually use) and on
+the single-context spin loop, then compares against the committed
+baseline in ``benchmarks/results/simulator_throughput.json``.  Exits
+non-zero when either rate regresses by more than the allowed factor
+(default 2x — CI runners are noisy; the gate is for cliffs, not
+percent drift).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/ci_throughput_smoke.py \
+        [--baseline benchmarks/results/simulator_throughput.json] \
+        [--max-regression 2.0]
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from throughput_workloads import run_replay_attack, run_spin, timed  # noqa: E402
+
+#: Baseline keys checked, mapped to a measurement callable.
+CHECKS = {
+    "replay_attack_fast_forward":
+        lambda: timed(run_replay_attack, True, 200),
+    "single_context_spin": lambda: timed(run_spin, 5000, 1),
+}
+
+
+def measure() -> dict:
+    rates = {}
+    for key, runner in CHECKS.items():
+        result, host = runner()
+        cycles = result[0] if isinstance(result, tuple) else result
+        rates[key] = cycles / host
+    return rates
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline",
+        default=str(Path(__file__).parent / "results"
+                    / "simulator_throughput.json"))
+    parser.add_argument("--max-regression", type=float, default=2.0)
+    args = parser.parse_args(argv)
+
+    baseline_path = Path(args.baseline)
+    if not baseline_path.exists():
+        print(f"no baseline at {baseline_path}; nothing to compare")
+        return 0
+    baseline = json.loads(baseline_path.read_text())
+    baseline_rates = baseline.get("cycles_per_host_second", {})
+
+    rates = measure()
+    failed = False
+    for key, rate in rates.items():
+        reference = baseline_rates.get(key)
+        if not reference:
+            print(f"{key}: {rate:,.0f} c/s (no baseline entry; skipped)")
+            continue
+        ratio = reference / rate
+        status = "OK"
+        if ratio > args.max_regression:
+            status = f"FAIL (>{args.max_regression:.1f}x regression)"
+            failed = True
+        print(f"{key}: {rate:,.0f} c/s vs baseline {reference:,.0f} "
+              f"({ratio:.2f}x slower) {status}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,7 @@ counts (e.g. 10,000 monitor measurements for Fig. 10); the default is
 a faster scaled-down configuration with identical shape.
 """
 
+import json
 import os
 from pathlib import Path
 
@@ -41,6 +42,27 @@ def emit(name: str, text: str):
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def emit_json(name: str, payload: dict):
+    """Persist a machine-readable result under benchmarks/results.
+
+    Committed JSON artefacts give CI a stable baseline to diff
+    against (see .github/workflows/ci.yml) and make the performance
+    trajectory queryable across PRs."""
+    rendered = json.dumps(payload, indent=2, sort_keys=True)
+    print()
+    print(rendered)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.json").write_text(rendered + "\n")
+
+
+def load_json(name: str):
+    """Read a previously emitted JSON artefact, or None."""
+    path = RESULTS_DIR / f"{name}.json"
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
 
 
 @pytest.fixture

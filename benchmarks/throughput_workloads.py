@@ -1,0 +1,80 @@
+"""Workload builders shared by the throughput benchmark and the CI
+smoke check.
+
+Three workloads, in increasing relevance to the paper:
+
+* ``spin`` — a dependency-light multiply loop; measures raw per-cycle
+  stepping overhead.
+* ``smt spin`` — the same loop on both SMT contexts.
+* ``replay attack`` — the MicroScope shape itself: a control-flow
+  victim whose replay handle is kept non-present, so the pipeline
+  spends nearly all its time stalled behind tuned page walks and
+  kernel fault handling.  This is where the quiescence fast-forward
+  scheduler earns its keep, and the workload the CI regression gate
+  watches.
+"""
+
+import time
+
+from repro.core.module import MicroScopeConfig
+from repro.core.recipes import WalkLocation, WalkTuning, replay_n_times
+from repro.core.replayer import AttackEnvironment, Replayer
+from repro.cpu.config import CoreConfig
+from repro.cpu.machine import Machine, MachineConfig
+from repro.isa.program import ProgramBuilder
+from repro.reporting import machine_report
+from repro.victims.control_flow import setup_control_flow_victim
+
+
+def busy_program(iterations):
+    return (ProgramBuilder("spin")
+            .li("r1", 0).li("r2", iterations).li("r3", 7)
+            .label("loop")
+            .mul("r4", "r3", "r3")
+            .addi("r1", "r1", 1)
+            .bne("r1", "r2", "loop")
+            .halt().build())
+
+
+def run_spin(iterations: int, contexts: int = 1) -> int:
+    """Run the spin workload; return simulated cycles."""
+    machine = Machine()
+    per_context = iterations // contexts
+    for context_id in range(contexts):
+        machine.contexts[context_id].load_program(
+            busy_program(per_context))
+    machine.run(100_000)
+    return machine.cycle
+
+
+def run_replay_attack(fast_forward: bool, replays: int = 200):
+    """Run the replay-attack workload; return ``(cycles, report)``.
+
+    The report snapshot (per-context stats, cache/TLB/walker counters)
+    lets callers assert that the fast-forward scheduler is bit-exact
+    against naive stepping, not merely cycle-equal.
+    """
+    rep = Replayer(AttackEnvironment.build(
+        machine_config=MachineConfig(
+            core=CoreConfig(fast_forward=fast_forward))))
+    victim_proc = rep.create_victim_process("victim")
+    victim = setup_control_flow_victim(victim_proc, secret=1,
+                                       divisions=2, multiplications=2)
+    recipe = rep.module.provide_replay_handle(
+        victim_proc, victim.handle_va + 0x20, name="throughput-replay",
+        attack_function=replay_n_times(replays),
+        walk_tuning=WalkTuning(upper=WalkLocation.PWC,
+                               leaf=WalkLocation.DRAM),
+        max_replays=10 ** 9)
+    rep.launch_victim(victim_proc, victim.program)
+    rep.arm(recipe)
+    rep.run_until_victim_done(context_id=0, max_cycles=100_000_000)
+    return rep.machine.cycle, machine_report(rep.machine, rep.kernel,
+                                             rep.module)
+
+
+def timed(fn, *args, **kwargs):
+    """Run *fn* once; return ``(result, host_seconds)``."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, max(time.perf_counter() - start, 1e-9)

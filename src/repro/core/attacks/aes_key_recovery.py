@@ -153,28 +153,44 @@ class KeyRecoveryResult:
         return 4 * len(self.recovered)
 
 
+def _extract_block_trial(params, _seed: int) -> Round1Attribution:
+    """One sweep trial: extract round-1 attributions for one block.
+    Top-level so :mod:`repro.harness` can ship it to worker processes;
+    the stepper's machine is fully seeded, so the trial seed is unused.
+    """
+    attack, ciphertext = params
+    return attack.extract_block(ciphertext)
+
+
 @dataclass
 class AESKeyRecoveryAttack:
     """Run the §4.4 stepper on several blocks, attribute round 1 from
-    the probe logs, and recover the round key's high nibbles."""
+    the probe logs, and recover the round key's high nibbles.
+
+    Blocks are independent victim runs, so :meth:`run` can fan them
+    across worker processes (``workers=N``); candidate-set
+    intersection is commutative, so the merged result is identical for
+    any worker count.
+    """
 
     key: bytes
     replays_per_site: int = 3
 
-    def run(self, ciphertexts: Sequence[bytes]) -> KeyRecoveryResult:
-        attributions: List[Round1Attribution] = []
+    def extract_block(self, ciphertext: bytes) -> Round1Attribution:
+        """Attack one decryption end-to-end and attribute round 1."""
+        attack = AESCacheAttack(self.key, ciphertext,
+                                replays_per_site=self.replays_per_site)
+        rep, _victim, stepper = attack._setup(prime_before_first=True)
+        stepper.stop_after_rk_sites = 4   # round 1 only
+        rep.machine.run(60_000_000, until=lambda _m: stepper.done)
+        threshold = attack.hit_threshold(rep)
+        return attribute_round1(stepper.probes, ciphertext, threshold)
+
+    def combine(self, attributions: Sequence[Round1Attribution]
+                ) -> KeyRecoveryResult:
+        """Intersect per-block nibble candidates into key material."""
         combined: Dict[int, Set[int]] = {}
-        for ciphertext in ciphertexts:
-            attack = AESCacheAttack(self.key, ciphertext,
-                                    replays_per_site=self.replays_per_site)
-            rep, _victim, stepper = attack._setup(
-                prime_before_first=True)
-            stepper.stop_after_rk_sites = 4   # round 1 only
-            rep.machine.run(60_000_000, until=lambda _m: stepper.done)
-            threshold = attack.hit_threshold(rep)
-            attribution = attribute_round1(stepper.probes, ciphertext,
-                                           threshold)
-            attributions.append(attribution)
+        for attribution in attributions:
             for byte_index, nibbles in nibble_candidates(
                     attribution).items():
                 if byte_index in combined:
@@ -186,6 +202,20 @@ class AESKeyRecoveryAttack:
                      if len(nibbles) == 1}
         rk = expand_decrypt_key(self.key)
         truth = b"".join(w.to_bytes(4, "big") for w in rk[0:4])
-        return KeyRecoveryResult(attributions=attributions,
+        return KeyRecoveryResult(attributions=list(attributions),
                                  nibble_sets=combined,
                                  recovered=recovered, truth=truth)
+
+    def extract_blocks(self, ciphertexts: Sequence[bytes],
+                       workers: int = 1) -> List[Round1Attribution]:
+        """Extract every block's attribution, fanning independent
+        victim runs across *workers* processes (1 = inline)."""
+        from repro.harness import run_sweep
+        sweep = run_sweep(_extract_block_trial,
+                          [(self, ct) for ct in ciphertexts],
+                          workers=workers, label="aes-key-recovery")
+        return sweep.results()
+
+    def run(self, ciphertexts: Sequence[bytes],
+            workers: int = 1) -> KeyRecoveryResult:
+        return self.combine(self.extract_blocks(ciphertexts, workers))

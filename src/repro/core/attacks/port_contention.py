@@ -155,13 +155,26 @@ class PortContentionAttack:
         return rate > (0.0005 + 0.004) / 2
 
 
+def _panel_trial(params, _seed: int) -> PortContentionResult:
+    """One Fig. 10 panel as a harness sweep trial (top-level so the
+    pool can pickle it; each panel builds its own seeded machine)."""
+    attack, secret, threshold = params
+    return attack.run(secret=secret, threshold=threshold)
+
+
 def run_figure10(measurements: int = 10_000,
-                 attack: Optional[PortContentionAttack] = None) -> dict:
+                 attack: Optional[PortContentionAttack] = None,
+                 workers: int = 1) -> dict:
     """Reproduce both panels of Figure 10; returns a result dict keyed
-    ``"mul"`` / ``"div"``."""
+    ``"mul"`` / ``"div"``.  The panels are independent simulations and
+    share only the calibrated threshold, so ``workers=2`` runs them in
+    parallel with identical results."""
     attack = attack or PortContentionAttack(measurements=measurements)
     threshold = attack.calibrate()
-    return {
-        "mul": attack.run(secret=0, threshold=threshold),
-        "div": attack.run(secret=1, threshold=threshold),
-    }
+    from repro.harness import run_sweep
+    sweep = run_sweep(
+        _panel_trial,
+        [(attack, 0, threshold), (attack, 1, threshold)],
+        workers=workers, label="fig10")
+    mul, div = sweep.results()
+    return {"mul": mul, "div": div}

@@ -66,8 +66,14 @@ class HardwareContext:
         self.rob = ReorderBuffer(rob_size)
         #: Youngest in-flight producer per register.
         self.rename: Dict[str, ROBEntry] = {}
-        #: Entries with operands ready, waiting for a port.
+        #: Entries with operands ready, waiting for a port.  Kept in
+        #: program (seq) order via :meth:`wake`; ``_ready_dirty`` marks
+        #: an out-of-order wakeup so dispatch re-sorts only when needed.
         self.ready: List[ROBEntry] = []
+        self._ready_dirty = False
+        #: Executed-but-not-retired loads indexed by virtual address,
+        #: for O(1) memory-order-violation checks at store resolution.
+        self.inflight_loads: Dict[int, List[ROBEntry]] = {}
         self.state = ContextState.IDLE
         self.program: Optional[Program] = None
         self.process = None  # set by the kernel when scheduling
@@ -105,6 +111,8 @@ class HardwareContext:
         self.blocked_until = 0
         self.rename.clear()
         self.ready.clear()
+        self._ready_dirty = False
+        self.inflight_loads.clear()
         self.fence_seqs.clear()
         self.replay_candidates.clear()
         self.txn = None
@@ -156,6 +164,40 @@ class HardwareContext:
                                            Dict[str, float]]):
         self.int_regs, self.fp_regs = dict(snapshot[0]), dict(snapshot[1])
 
+    # --- scheduling support --------------------------------------------------
+
+    def wake(self, entry: ROBEntry):
+        """Add *entry* to the ready queue, tracking ordering: fetch-time
+        wakeups arrive in seq order, completion-time wakeups may not."""
+        ready = self.ready
+        if ready and ready[-1].seq > entry.seq:
+            self._ready_dirty = True
+        ready.append(entry)
+
+    def sorted_ready(self) -> List[ROBEntry]:
+        """The ready queue in program (seq) order, re-sorting only when
+        an out-of-order wakeup dirtied it."""
+        if self._ready_dirty:
+            self.ready.sort(key=lambda e: e.seq)
+            self._ready_dirty = False
+        return self.ready
+
+    def index_inflight_load(self, entry: ROBEntry):
+        """Record an issued load for memory-order checks (keyed by VA)."""
+        self.inflight_loads.setdefault(entry.addr, []).append(entry)
+
+    def unindex_load(self, entry: ROBEntry):
+        """Drop a retired load from the in-flight index."""
+        bucket = self.inflight_loads.get(entry.addr)
+        if bucket is None:
+            return
+        try:
+            bucket.remove(entry)
+        except ValueError:
+            return
+        if not bucket:
+            del self.inflight_loads[entry.addr]
+
     # --- squash support ------------------------------------------------------
 
     def rebuild_rename(self):
@@ -182,6 +224,8 @@ class HardwareContext:
                            if s not in squashed_seqs]
         for entry in entries:
             self.replay_candidates.add(entry.index)
+            if entry.instr.is_load and entry.addr is not None:
+                self.unindex_load(entry)
 
     def oldest_fence_seq(self) -> Optional[int]:
         return min(self.fence_seqs) if self.fence_seqs else None

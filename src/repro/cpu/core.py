@@ -114,6 +114,75 @@ class Core:
         return any(not ctx.finished() for ctx in self.contexts)
 
     # ------------------------------------------------------------------
+    # quiescence fast-forward
+    # ------------------------------------------------------------------
+
+    def next_work_cycle(self) -> Optional[int]:
+        """The next cycle at which any pipeline stage can act, assuming
+        the core is quiescent right now.
+
+        Returns ``None`` when some stage may act *this* cycle (or when
+        nothing is ever going to happen again) — callers must then step
+        normally.  Otherwise every cycle strictly before the returned
+        one is provably an empty ``step()``: the only pending work sits
+        in the event heap or behind a known stall/block cycle.
+        """
+        cycle = self.cycle
+        deadlines = []
+        if self._events:
+            due = self._events[0][0]
+            if due <= cycle:
+                return None
+            deadlines.append(due)
+        for context in self.contexts:
+            state = context.state
+            if state is ContextState.BLOCKED:
+                if context.blocked_until <= cycle:
+                    return None
+                deadlines.append(context.blocked_until)
+                continue
+            if state is not ContextState.RUNNING:
+                continue  # IDLE/HALTED contexts never act again
+            if (context.pending_interrupt is not None
+                    or context.txn_abort_pending):
+                return None
+            head = context.rob.head
+            if head is not None and head.completed:
+                return None  # retire (or fault/trap) can act now
+            for entry in context.ready:
+                if not entry.squashed:
+                    return None  # dispatch may issue this cycle
+            # Fetch: possible at all, and if so, when?
+            if (context.program is not None and not context.rob.full
+                    and context.fetch_index < len(context.program)):
+                stall = context.fetch_stall_until
+                if stall <= cycle:
+                    return None
+                if stall != math.inf:
+                    deadlines.append(stall)
+        if not deadlines:
+            return None
+        target = min(deadlines)
+        return target if target > cycle else None
+
+    def fast_forward(self, limit: Optional[int] = None) -> int:
+        """Jump the clock to the next cycle where work exists (clamped
+        to *limit*).  Returns the number of empty cycles skipped.  The
+        skipped cycles are exactly the no-op ``step()`` calls naive
+        stepping would have performed, so all observable state —
+        cycle counts, stats, architectural state — is bit-identical."""
+        target = self.next_work_cycle()
+        if target is None:
+            return 0
+        if limit is not None and target > limit:
+            target = limit
+        skipped = target - self.cycle
+        if skipped <= 0:
+            return 0
+        self.cycle = target
+        return skipped
+
+    # ------------------------------------------------------------------
     # stage 1: completion / writeback
     # ------------------------------------------------------------------
 
@@ -157,8 +226,7 @@ class Core:
                 if (dependent.pending == 0
                         and dependent.state is EntryState.DISPATCHED):
                     dependent.state = EntryState.READY
-                    self.contexts[dependent.context_id].ready.append(
-                        dependent)
+                    self.contexts[dependent.context_id].wake(dependent)
             entry.dependents.clear()
 
     def _try_pte_race(self, entry: ROBEntry):
@@ -275,6 +343,8 @@ class Core:
                 self._abort_transaction(context, "explicit-abort")
         if entry.seq in context.fence_seqs:
             context.fence_seqs.remove(entry.seq)
+        if instr.is_load and entry.addr is not None:
+            context.unindex_load(entry)
         context.replay_candidates.discard(entry.index)
         context.stats.retired += 1
         if self.tracer is not None:
@@ -370,18 +440,18 @@ class Core:
 
     def _dispatch(self):
         budget = self.config.issue_width
-        order = list(range(len(self.contexts)))
+        contexts = self.contexts
+        order = list(range(len(contexts)))
         rotate = self.cycle % max(len(order), 1)
         order = order[rotate:] + order[:rotate]
         for context_id in order:
             if budget <= 0:
                 break
-            context = self.contexts[context_id]
+            context = contexts[context_id]
             if not context.ready:
                 continue
-            context.ready.sort(key=lambda e: e.seq)
             still_ready = []
-            for entry in context.ready:
+            for entry in context.sorted_ready():
                 if entry.squashed:
                     continue
                 if budget <= 0 or not self._try_execute(context, entry):
@@ -397,13 +467,14 @@ class Core:
         if fence_seq is not None:
             if entry.seq > fence_seq:
                 return False  # serialised behind a fence
-            if entry.seq == fence_seq and not self._older_all_completed(
-                    context, entry.seq):
+            if entry.seq == fence_seq and not \
+                    context.rob.all_older_completed(entry.seq):
                 return False
         op_cls = entry.op_cls
         if entry.instr.is_load:
             issued = self._execute_load(context, entry)
             if issued:
+                context.index_inflight_load(entry)
                 for hook in self.issue_hooks:
                     hook(context, entry)
             return issued
@@ -419,10 +490,6 @@ class Core:
         for hook in self.issue_hooks:
             hook(context, entry)
         return True
-
-    def _older_all_completed(self, context: HardwareContext,
-                             seq: int) -> bool:
-        return all(e.completed for e in context.rob.entries if e.seq < seq)
 
     def _latency_for(self, entry: ROBEntry) -> int:
         cfg = self.config
@@ -660,15 +727,21 @@ class Core:
                                       store: ROBEntry):
         """A younger load already executed against the address this
         store just resolved: the no-alias speculation was wrong.
-        Squash from the violating load and refetch."""
+        Squash from the *oldest* violating load and refetch.
+
+        The in-flight load index holds exactly the issued-but-unretired
+        loads (retire and squash unindex them), so this lookup touches
+        only same-address loads instead of walking the whole ROB.  The
+        bucket is insertion (issue) ordered, which out-of-order issue
+        can leave unordered by seq — hence the explicit min."""
         violating = None
-        for candidate in context.rob.entries:
-            if (candidate.seq > store.seq and candidate.instr.is_load
-                    and candidate.addr == store.addr
+        for candidate in context.inflight_loads.get(store.addr, ()):
+            if (candidate.seq > store.seq and not candidate.squashed
                     and candidate.state in (EntryState.EXECUTING,
-                                            EntryState.COMPLETED)):
+                                            EntryState.COMPLETED)
+                    and (violating is None
+                         or candidate.seq < violating.seq)):
                 violating = candidate
-                break
         if violating is None:
             return
         squashed = context.rob.squash_younger_than(violating.seq - 1)
@@ -686,16 +759,18 @@ class Core:
 
     def _fetch(self):
         budget = self.config.fetch_width
-        order = list(range(len(self.contexts)))
-        rotate = (self.cycle + 1) % max(len(order), 1)
+        contexts = self.contexts
+        cycle = self.cycle
+        order = list(range(len(contexts)))
+        rotate = (cycle + 1) % max(len(order), 1)
         order = order[rotate:] + order[:rotate]
         for context_id in order:
             if budget <= 0:
                 break
-            context = self.contexts[context_id]
+            context = contexts[context_id]
             if context.state is not ContextState.RUNNING:
                 continue
-            if self.cycle < context.fetch_stall_until:
+            if cycle < context.fetch_stall_until:
                 continue
             while (budget > 0 and not context.rob.full
                    and context.program is not None
@@ -765,5 +840,5 @@ class Core:
         context.rob.push(entry)
         if entry.pending == 0:
             entry.state = EntryState.READY
-            context.ready.append(entry)
+            context.wake(entry)
         return stop

@@ -66,15 +66,51 @@ class Machine:
     def run(self, max_cycles: int = 1_000_000,
             until: Optional[Callable[["Machine"], bool]] = None) -> int:
         """Run until *until* returns True, all contexts finish, or the
-        cycle budget is exhausted.  Returns cycles executed."""
+        cycle budget is exhausted.  Returns cycles executed.
+
+        With ``core.config.fast_forward`` set, provably-empty cycles
+        are skipped in one jump; *until* predicates must therefore
+        depend on simulation state (which cannot change during skipped
+        cycles), not on raw cycle numbers — use :meth:`run_until_cycle`
+        to stop at an exact cycle.
+        """
         start = self.cycle
-        while self.cycle - start < max_cycles:
-            if until is not None and until(self):
-                break
-            if not self.core.busy():
-                break
-            self.core.step()
+        core = self.core
+        limit = start + max_cycles
+        fast = core.config.fast_forward
+        if until is None:
+            # Common case: no per-cycle predicate call in the loop.
+            while self.cycle < limit:
+                if not core.busy():
+                    break
+                if fast:
+                    core.fast_forward(limit)
+                    if self.cycle >= limit:
+                        break
+                core.step()
+        else:
+            while self.cycle < limit:
+                if until(self):
+                    break
+                if not core.busy():
+                    break
+                if fast:
+                    core.fast_forward(limit)
+                    if self.cycle >= limit:
+                        break
+                core.step()
         return self.cycle - start
+
+    def run_until_cycle(self, cycle: int,
+                        until: Optional[Callable[["Machine"], bool]]
+                        = None) -> int:
+        """Run until the global clock reaches *cycle* (or *until* /
+        completion stops the run earlier).  Fast-forward jumps are
+        clamped to *cycle*, so this is exact under either scheduler.
+        Returns cycles executed."""
+        if cycle <= self.cycle:
+            return 0
+        return self.run(max_cycles=cycle - self.cycle, until=until)
 
     def run_context_to_completion(self, context_id: int,
                                   max_cycles: int = 1_000_000) -> int:

@@ -30,6 +30,9 @@ class PortStats:
 class Port:
     """One execution port."""
 
+    __slots__ = ("name", "classes", "_non_pipelined", "busy_until",
+                 "_issued_this_cycle", "stats")
+
     def __init__(self, config: PortConfig, non_pipelined: FrozenSet[str]):
         self.name = config.name
         self.classes = config.classes

@@ -98,6 +98,9 @@ class ReorderBuffer:
             raise ValueError("ROB capacity must be positive")
         self.capacity = capacity
         self.entries: Deque[ROBEntry] = deque()
+        #: In-flight stores only, program order — lets the load path
+        #: search the store buffer without walking the whole ROB.
+        self._stores: Deque[ROBEntry] = deque()
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -118,9 +121,14 @@ class ReorderBuffer:
         if self.full:
             raise OverflowError("ROB overflow")
         self.entries.append(entry)
+        if entry.instr.is_store:
+            self._stores.append(entry)
 
     def pop_head(self) -> ROBEntry:
-        return self.entries.popleft()
+        head = self.entries.popleft()
+        if self._stores and self._stores[0] is head:
+            self._stores.popleft()
+        return head
 
     def squash_younger_than(self, seq: int) -> List[ROBEntry]:
         """Remove and return every entry with ``entry.seq > seq``
@@ -134,9 +142,26 @@ class ReorderBuffer:
             else:
                 survivors.append(entry)
         self.entries = survivors
+        if squashed:
+            self._stores = deque(e for e in self._stores
+                                 if not e.squashed)
         return squashed
 
     def stores_older_than(self, seq: int) -> List[ROBEntry]:
         """In-flight stores older than *seq*, oldest first."""
-        return [e for e in self.entries
-                if e.instr.is_store and e.seq < seq]
+        stores = []
+        for e in self._stores:     # program order, so seqs ascend
+            if e.seq >= seq:
+                break
+            stores.append(e)
+        return stores
+
+    def all_older_completed(self, seq: int) -> bool:
+        """True when every entry older than *seq* has completed.
+        Entries are program-ordered, so stop at the first younger one."""
+        for e in self.entries:
+            if e.seq >= seq:
+                return True
+            if e.state is not EntryState.COMPLETED:
+                return False
+        return True

@@ -1,0 +1,36 @@
+"""Parallel experiment harness.
+
+Paper-scale experiments (Fig. 10's 10,000 monitor samples, multi-block
+AES key recovery, ablation grids) decompose into *independent seeded
+trials* whose results merge order-independently.  This package fans
+such trials across worker processes:
+
+* :mod:`repro.harness.pool` — order-preserving process-pool plumbing;
+* :mod:`repro.harness.sweep` — deterministic seed derivation, the
+  :func:`run_sweep` driver, and merge helpers.
+
+Determinism contract: for a fixed ``master_seed`` the result of a
+sweep is identical for any worker count (including in-process
+``workers=1``), because each trial's seed is derived from the master
+seed and the trial index alone, and results are merged in trial order
+no matter which worker finished first.
+"""
+
+from repro.harness.pool import default_workers, run_indexed
+from repro.harness.sweep import (
+    SweepResult,
+    Trial,
+    derive_seed,
+    merge_ordered,
+    run_sweep,
+)
+
+__all__ = [
+    "SweepResult",
+    "Trial",
+    "default_workers",
+    "derive_seed",
+    "merge_ordered",
+    "run_indexed",
+    "run_sweep",
+]

@@ -1,0 +1,78 @@
+"""Process-pool plumbing for independent simulation trials.
+
+The simulator is pure Python, so thread pools buy nothing (GIL); the
+win comes from full worker *processes*, each running its own machine.
+``run_indexed`` hides the multiprocessing details and guarantees that
+results come back in submission order even though workers complete in
+arbitrary order — the property the sweep layer's determinism contract
+rests on.
+
+Trial callables and their arguments must be picklable (top-level
+functions, dataclasses of plain values); this is the standard
+multiprocessing constraint, and every trial runner in this repository
+satisfies it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def default_workers() -> int:
+    """Worker-count default: ``REPRO_WORKERS`` if set, else the CPU
+    count.  Returns at least 1."""
+    env = os.environ.get("REPRO_WORKERS", "")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
+def _mp_context():
+    """Prefer fork (cheap, inherits the imported simulator); fall back
+    to the platform default where fork is unavailable."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _indexed_call(payload):
+    fn, index, item = payload
+    return index, fn(item)
+
+
+def run_indexed(fn: Callable[[T], R], items: Sequence[T],
+                workers: Optional[int] = None) -> List[R]:
+    """Apply *fn* to every item, returning results in item order.
+
+    ``workers=1`` (or a single item) runs inline in this process — no
+    pool, no pickling — which is the reference execution the parallel
+    path must reproduce exactly.  ``workers=None`` uses
+    :func:`default_workers`.
+    """
+    items = list(items)
+    if not items:
+        return []
+    if workers is None:
+        workers = default_workers()
+    workers = min(workers, len(items))
+    if workers <= 1:
+        return [fn(item) for item in items]
+    payloads = [(fn, index, item) for index, item in enumerate(items)]
+    results: List[Optional[R]] = [None] * len(items)
+    ctx = _mp_context()
+    with ctx.Pool(processes=workers) as pool:
+        # imap_unordered: workers hand back whatever finishes first;
+        # the index tag restores submission order.
+        for index, result in pool.imap_unordered(_indexed_call,
+                                                 payloads):
+            results[index] = result
+    return results  # type: ignore[return-value]

@@ -29,12 +29,22 @@ class TLBConfig:
         return self.entries // self.ways
 
 
-@dataclass
 class TLBEntry:
-    vpn: int
-    pcid: int
-    frame: int
-    flags: int = 0
+    """One TLB translation.  Plain slotted class, not a dataclass:
+    lookups churn through these on every memory access, and the walk
+    loop in §4.1 workloads allocates them constantly."""
+
+    __slots__ = ("vpn", "pcid", "frame", "flags")
+
+    def __init__(self, vpn: int, pcid: int, frame: int, flags: int = 0):
+        self.vpn = vpn
+        self.pcid = pcid
+        self.frame = frame
+        self.flags = flags
+
+    def __repr__(self) -> str:
+        return (f"TLBEntry(vpn={self.vpn:#x}, pcid={self.pcid}, "
+                f"frame={self.frame:#x}, flags={self.flags:#x})")
 
 
 @dataclass

@@ -159,6 +159,34 @@ def test_memory_order_violation_repair(system):
     assert context.int_regs["r3"] == 42
 
 
+def test_memory_order_repair_squashes_oldest_violating_load(system):
+    """Two speculative loads alias the late-resolving store.  The
+    repair must squash from the *oldest* violating load — squashing
+    only the younger one would leave the older load holding the stale
+    pre-store value."""
+    machine, kernel = system
+    process = kernel.create_process("p")
+    data = process.alloc(4096, "data")
+    process.write(data, 1)   # stale value both loads race to read
+    program = (ProgramBuilder()
+               .li("r1", data)
+               .li("r5", 1000)
+               # Slow address computation delays the store's address.
+               .mul("r6", "r5", "r5")
+               .div("r6", "r6", "r5")
+               .sub("r6", "r6", "r5")
+               .add("r7", "r1", "r6")    # r7 = data, but late
+               .li("r2", 42)
+               .store("r7", "r2", 0)     # address resolves late
+               .load("r3", "r1", 0)      # older aliasing load
+               .load("r4", "r1", 0)      # younger aliasing load
+               .halt().build())
+    context = run_program(machine, kernel, program, process=process)
+    assert context.stats.squash_events > 0, "no violation exercised"
+    assert context.int_regs["r3"] == 42
+    assert context.int_regs["r4"] == 42
+
+
 def test_fp_load_store(system):
     machine, kernel = system
     process = kernel.create_process("p")
