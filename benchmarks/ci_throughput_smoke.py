@@ -8,6 +8,12 @@ non-zero when either rate regresses by more than the allowed factor
 (default 2x — CI runners are noisy; the gate is for cliffs, not
 percent drift).
 
+Also runs a snapshot round-trip smoke: take a mid-run snapshot of the
+replay-attack workload, run to completion, mutate nothing further,
+restore, run again, and require the machine report to be identical.
+This is the functional contract the warm-start experiment drivers
+depend on, checked on every CI run in a few hundred milliseconds.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/ci_throughput_smoke.py \
@@ -16,6 +22,7 @@ Usage::
 """
 
 import argparse
+import dataclasses
 import json
 import sys
 from pathlib import Path
@@ -41,6 +48,50 @@ def measure() -> dict:
     return rates
 
 
+def snapshot_roundtrip_smoke() -> bool:
+    """Take → mutate → restore → compare on a real attack platform.
+
+    Checkpoints a launched control-flow victim, runs the replay attack
+    to completion (heavily mutating every subsystem), rewinds, runs
+    again, and requires the two machine reports to be identical.
+    Returns True on success.
+    """
+    from repro.core.recipes import (
+        WalkLocation, WalkTuning, replay_n_times)
+    from repro.core.replayer import AttackEnvironment, Replayer
+    from repro.reporting import machine_report
+    from repro.victims.control_flow import setup_control_flow_victim
+
+    rep = Replayer(AttackEnvironment.build())
+    proc = rep.create_victim_process("victim")
+    victim = setup_control_flow_victim(proc, secret=1)
+    recipe = rep.module.provide_replay_handle(
+        proc, victim.handle_va + 0x20, name="smoke-replay",
+        attack_function=replay_n_times(20),
+        walk_tuning=WalkTuning(upper=WalkLocation.PWC,
+                               leaf=WalkLocation.DRAM))
+    rep.launch_victim(proc, victim.program)
+    rep.arm(recipe)
+    rep.checkpoint()
+
+    def run_to_done() -> dict:
+        rep.run_until_victim_done(context_id=0, max_cycles=10_000_000)
+        return dataclasses.asdict(
+            machine_report(rep.machine, rep.kernel, rep.module))
+
+    first = run_to_done()
+    rep.rewind()
+    second = run_to_done()
+    if second != first:
+        print("snapshot round-trip: FAIL (report diverged after rewind)")
+        return False
+    if first["contexts"][0]["retired"] == 0:
+        print("snapshot round-trip: FAIL (workload retired nothing)")
+        return False
+    print("snapshot round-trip: OK (rewound run is bit-identical)")
+    return True
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -50,15 +101,16 @@ def main(argv=None) -> int:
     parser.add_argument("--max-regression", type=float, default=2.0)
     args = parser.parse_args(argv)
 
+    failed = not snapshot_roundtrip_smoke()
+
     baseline_path = Path(args.baseline)
     if not baseline_path.exists():
         print(f"no baseline at {baseline_path}; nothing to compare")
-        return 0
+        return 1 if failed else 0
     baseline = json.loads(baseline_path.read_text())
     baseline_rates = baseline.get("cycles_per_host_second", {})
 
     rates = measure()
-    failed = False
     for key, rate in rates.items():
         reference = baseline_rates.get(key)
         if not reference:

@@ -16,6 +16,8 @@ Three workloads, in increasing relevance to the paper:
 
 import time
 
+from repro.core.attacks.aes_cache import AESCacheAttack
+from repro.core.attacks.port_contention import PortContentionAttack
 from repro.core.module import MicroScopeConfig
 from repro.core.recipes import WalkLocation, WalkTuning, replay_n_times
 from repro.core.replayer import AttackEnvironment, Replayer
@@ -23,6 +25,7 @@ from repro.cpu.config import CoreConfig
 from repro.cpu.machine import Machine, MachineConfig
 from repro.isa.program import ProgramBuilder
 from repro.reporting import machine_report
+from repro.snapshot import clear_cache
 from repro.victims.control_flow import setup_control_flow_victim
 
 
@@ -78,3 +81,119 @@ def timed(fn, *args, **kwargs):
     start = time.perf_counter()
     result = fn(*args, **kwargs)
     return result, max(time.perf_counter() - start, 1e-9)
+
+
+# ---------------------------------------------------------------------------
+# Warm-start vs cold-start window workloads (repro.snapshot)
+#
+# MicroScope's unit of work is the *window*: one replayed fault site
+# with its probes.  Historically every observation of a late window
+# paid the full run from a cold platform; with checkpoint/rewind the
+# shared prefix is simulated once and each trial replays only the
+# window of interest — the O(N·full-run) -> O(setup + N·window)
+# amortization the snapshot subsystem exists for.  Both workloads
+# return the measured data so callers can assert that warm trials are
+# bit-identical to the cold baseline.
+# ---------------------------------------------------------------------------
+
+AES_KEY = bytes(range(16))
+AES_CIPHERTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+#: rk fault sites completed before the checkpoint; the measured window
+#: is everything after (the fourth td0/rk site pair of round 1).
+AES_PREFIX_RK_SITES = 3
+AES_TARGET_RK_SITES = 4
+
+
+def _aes_stepper():
+    attack = AESCacheAttack(AES_KEY, AES_CIPHERTEXT)
+    rep, _victim, stepper = attack._setup(prime_before_first=True)
+    stepper.stop_after_rk_sites = AES_TARGET_RK_SITES
+    return rep, stepper
+
+
+def _probe_data(stepper):
+    return [(p.step, p.kind, p.replay, p.latencies)
+            for p in stepper.probes]
+
+
+def run_aes_window_cold():
+    """One cold observation of the fourth rk window: fresh platform,
+    full §4.4 stepped run from the prologue."""
+    clear_cache()
+    rep, stepper = _aes_stepper()
+    rep.machine.run(60_000_000, until=lambda _m: stepper.done)
+    return _probe_data(stepper)
+
+
+def make_aes_window_replayer():
+    """Pay the shared prefix once — build, launch, step through the
+    first three rk sites — checkpoint there, and return a trial
+    callable that rewinds and measures only the final window."""
+    clear_cache()
+    rep, stepper = _aes_stepper()
+    rep.machine.run(
+        60_000_000,
+        until=lambda _m: stepper.rk_sites >= AES_PREFIX_RK_SITES)
+    rep.checkpoint()
+    # The stepper's Python-side cursor at the checkpoint; rewinding
+    # the platform resets the machine, so trials reset this too.
+    mark = (stepper.site_counter, stepper._replay_at_site,
+            len(stepper.probes))
+
+    def warm_trial():
+        rep.rewind()
+        stepper.rk_sites = AES_PREFIX_RK_SITES
+        stepper.site_counter, stepper._replay_at_site = mark[0], mark[1]
+        stepper.done = False
+        del stepper.probes[mark[2]:]
+        rep.machine.run(60_000_000, until=lambda _m: stepper.done)
+        return _probe_data(stepper)
+
+    return warm_trial
+
+
+def _fig10_result_data(result):
+    """Everything Fig. 10 measures (cycles excluded: a warm trial's
+    run() starts mid-simulation, so its relative cycle count differs
+    while every measured value is identical)."""
+    return (result.secret, result.samples, result.threshold,
+            result.above_threshold, result.replays, result.verdict)
+
+
+def run_fig10_cold(attack: PortContentionAttack, secret: int,
+                   threshold: float):
+    """One cold Fig. 10 panel: fresh platform, full measurement run."""
+    clear_cache()
+    return _fig10_result_data(attack.run(secret, threshold))
+
+
+def make_fig10_window_replayer(attack: PortContentionAttack,
+                               secret: int, threshold: float,
+                               prefix_fraction: float = 0.85):
+    """Checkpoint a Fig. 10 panel *prefix_fraction* of the way through
+    the Monitor's trace; each warm trial rewinds and measures the
+    remaining samples (identical to the cold run's tail)."""
+    clear_cache()
+    # Reference run fixes the measured data and the Monitor's total
+    # retired-instruction count, so the checkpoint lands at a
+    # deterministic mid-run point.
+    rep, recipe, monitor_proc, monitor, monitor_ctx = \
+        attack.prepare(secret)
+    reference = attack.finish(rep, recipe, monitor_proc, monitor,
+                              monitor_ctx, secret, threshold)
+    target = int(prefix_fraction * monitor_ctx.stats.retired)
+
+    rep, recipe, monitor_proc, monitor, monitor_ctx = \
+        attack.prepare(secret)
+    rep.machine.run(
+        attack.max_cycles,
+        until=lambda _m: monitor_ctx.stats.retired >= target)
+    rep.checkpoint()
+
+    def warm_trial():
+        rep.rewind()
+        return _fig10_result_data(attack.finish(
+            rep, recipe, monitor_proc, monitor, monitor_ctx, secret,
+            threshold))
+
+    return warm_trial, _fig10_result_data(reference)

@@ -157,6 +157,10 @@ def _extract_block_trial(params, _seed: int) -> Round1Attribution:
     """One sweep trial: extract round-1 attributions for one block.
     Top-level so :mod:`repro.harness` can ship it to worker processes;
     the stepper's machine is fully seeded, so the trial seed is unused.
+    Every trial after a worker's first warm-starts from the shared
+    post-launch snapshot (:mod:`repro.snapshot`) and only rewrites the
+    ciphertext words, so the per-block cost is the stepped window, not
+    the platform build.
     """
     attack, ciphertext = params
     return attack.extract_block(ciphertext)

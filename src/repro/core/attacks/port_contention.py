@@ -30,6 +30,7 @@ from repro.core.module import MicroScopeConfig
 from repro.core.replayer import AttackEnvironment, Replayer
 from repro.cpu.config import CoreConfig
 from repro.cpu.machine import MachineConfig
+from repro.snapshot import warm_start
 from repro.victims.control_flow import setup_control_flow_victim
 from repro.victims.monitor import setup_port_contention_monitor
 
@@ -79,33 +80,59 @@ class PortContentionAttack:
                 fault_handler_cost=self.fault_handler_cost))
         return Replayer(env)
 
-    def calibrate(self, samples: int = 2000) -> float:
-        """Derive the contention threshold from a quiet run of the
-        Monitor (no victim replaying) — how the paper picks its
-        ~120-cycle line from the mul-side distribution."""
+    def _machine_key(self) -> tuple:
+        return (self.fault_handler_cost, self.rdtsc_jitter,
+                self.divs_per_sample)
+
+    def _build_calibration_environment(self, samples: int):
         rep = self._build_environment()
         monitor_proc = rep.create_monitor_process()
         monitor = setup_port_contention_monitor(
             monitor_proc, samples, self.divs_per_sample)
         rep.launch_monitor(monitor_proc, monitor.program, context_id=1)
+        return rep.env, (monitor_proc, monitor)
+
+    def _build_attack_environment(self):
+        """Builder for the warm-start cache: victim and Monitor both
+        launched, no recipe yet.  The victim is built with secret 0;
+        :meth:`run` rewrites the secret word after every rewind, so
+        both Fig. 10 panels share this one snapshot."""
+        rep = self._build_environment()
+        victim_proc = rep.create_victim_process("victim")
+        victim = setup_control_flow_victim(
+            victim_proc, 0, divisions=self.divisions,
+            multiplications=self.multiplications)
+        monitor_proc = rep.create_monitor_process("monitor")
+        monitor = setup_port_contention_monitor(
+            monitor_proc, self.measurements, self.divs_per_sample)
+        rep.launch_victim(victim_proc, victim.program)
+        rep.launch_monitor(monitor_proc, monitor.program, context_id=1)
+        return rep.env, (victim_proc, victim, monitor_proc, monitor)
+
+    def calibrate(self, samples: int = 2000) -> float:
+        """Derive the contention threshold from a quiet run of the
+        Monitor (no victim replaying) — how the paper picks its
+        ~120-cycle line from the mul-side distribution."""
+        env, (monitor_proc, monitor) = warm_start(
+            ("fig10-calibrate", samples) + self._machine_key(),
+            lambda: self._build_calibration_environment(samples))
+        rep = Replayer(env)
         rep.run_until_victim_done(context_id=1,
                                   max_cycles=self.max_cycles)
         calibration = monitor.read_samples(monitor_proc)
         return derive_threshold(calibration)
 
-    def run(self, secret: int,
-            threshold: Optional[float] = None) -> PortContentionResult:
-        """Execute the full attack against a victim holding *secret*."""
-        if threshold is None:
-            threshold = self.calibrate()
-        rep = self._build_environment()
-        victim_proc = rep.create_victim_process("victim")
-        victim = setup_control_flow_victim(
-            victim_proc, secret, divisions=self.divisions,
-            multiplications=self.multiplications)
-        monitor_proc = rep.create_monitor_process("monitor")
-        monitor = setup_port_contention_monitor(
-            monitor_proc, self.measurements, self.divs_per_sample)
+    def prepare(self, secret: int):
+        """Warm-start the launched environment, retarget the secret,
+        and arm the replay recipe.  Returns the armed run state; used
+        by :meth:`run` and by checkpoint/rewind benchmarks that want
+        to snapshot mid-attack."""
+        env, (victim_proc, victim, monitor_proc, monitor) = warm_start(
+            ("fig10-attack", self.measurements, self.divisions,
+             self.multiplications) + self._machine_key(),
+            self._build_attack_environment)
+        victim.write_secret(victim_proc, secret)
+        rep = Replayer(env)
 
         monitor_ctx = rep.machine.contexts[1]
 
@@ -122,9 +149,13 @@ class PortContentionAttack:
             attack_function=attack_fn,
             walk_tuning=self.walk_tuning,
             max_replays=10**9)
-        rep.launch_victim(victim_proc, victim.program)
-        rep.launch_monitor(monitor_proc, monitor.program, context_id=1)
         rep.arm(recipe)
+        return rep, recipe, monitor_proc, monitor, monitor_ctx
+
+    def finish(self, rep: Replayer, recipe, monitor_proc, monitor,
+               monitor_ctx, secret: int,
+               threshold: float) -> PortContentionResult:
+        """Run an armed attack to completion and harvest Fig. 10."""
         cycles = rep.machine.run(
             self.max_cycles,
             until=lambda _m: monitor_ctx.finished() and recipe.released)
@@ -138,6 +169,16 @@ class PortContentionAttack:
             secret=secret, samples=samples, threshold=threshold,
             above_threshold=summary.above, replays=recipe.replays,
             verdict=verdict, cycles=cycles)
+
+    def run(self, secret: int,
+            threshold: Optional[float] = None) -> PortContentionResult:
+        """Execute the full attack against a victim holding *secret*."""
+        if threshold is None:
+            threshold = self.calibrate()
+        rep, recipe, monitor_proc, monitor, monitor_ctx = \
+            self.prepare(secret)
+        return self.finish(rep, recipe, monitor_proc, monitor,
+                           monitor_ctx, secret, threshold)
 
     def _classify(self, samples: List[int],
                   threshold: float) -> Optional[bool]:
@@ -157,7 +198,8 @@ class PortContentionAttack:
 
 def _panel_trial(params, _seed: int) -> PortContentionResult:
     """One Fig. 10 panel as a harness sweep trial (top-level so the
-    pool can pickle it; each panel builds its own seeded machine)."""
+    pool can pickle it; panels warm-start from the shared post-launch
+    snapshot and differ only in the rewritten secret word)."""
     attack, secret, threshold = params
     return attack.run(secret=secret, threshold=threshold)
 

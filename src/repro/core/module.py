@@ -325,3 +325,30 @@ class MicroScopeModule:
 
     def action_for_halt(self) -> TrapAction:
         return TrapAction(cost=self.config.fault_handler_cost, halt=True)
+
+    # ------------------------------------------------------------------
+    # snapshot support
+    # ------------------------------------------------------------------
+
+    def capture(self) -> tuple:
+        """Clone module state.  Recipe objects are shared by reference
+        (attack closures hold them); their mutable progress state is
+        cloned per recipe."""
+        stats = self.stats
+        return (
+            (stats.handle_faults, stats.pivot_faults, stats.releases,
+             stats.probes, stats.primes),
+            dict(self._armed),
+            [(recipe, recipe.capture()) for recipe in self.recipes],
+            self._noise.getstate(),
+        )
+
+    def restore(self, state: tuple):
+        stats, armed, recipes, noise = state
+        (self.stats.handle_faults, self.stats.pivot_faults,
+         self.stats.releases, self.stats.probes, self.stats.primes) = stats
+        self._armed = dict(armed)
+        self.recipes = [recipe for recipe, _ in recipes]
+        for recipe, recipe_state in recipes:
+            recipe.restore(recipe_state)
+        self._noise.setstate(noise)

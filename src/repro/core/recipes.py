@@ -127,6 +127,21 @@ class AttackRecipe:
                     "pivot must live on a different page than the replay "
                     "handle (§4.2.2)")
 
+    # --- snapshot support -------------------------------------------------
+
+    def capture(self) -> tuple:
+        """Clone mutable recipe state.  ``pivot_va`` and
+        ``monitor_addrs`` are included because the Table-2 interface
+        mutates them after construction."""
+        return (self.pivot_va, list(self.monitor_addrs), self.replays,
+                self.pivot_faults, self.released, list(self.probe_log))
+
+    def restore(self, state: tuple):
+        (self.pivot_va, monitor_addrs, self.replays, self.pivot_faults,
+         self.released, probe_log) = state
+        self.monitor_addrs = list(monitor_addrs)
+        self.probe_log = list(probe_log)
+
     def decide(self, event: ReplayEvent) -> ReplayDecision:
         if event.is_pivot_fault and self.pivot_function is not None:
             return self.pivot_function(event)

@@ -19,6 +19,7 @@ from repro.kernel.kernel import Kernel, KernelConfig
 from repro.kernel.process import Process
 from repro.kernel.shm import SharedChannel
 from repro.sgx.enclave import EnclaveConfig, SGXPlatform
+from repro.snapshot import MachineSnapshot
 
 
 @dataclass
@@ -51,6 +52,26 @@ class Replayer:
         self.kernel = self.env.kernel
         self.sgx = self.env.sgx
         self.module = self.env.module
+        self._checkpoint: Optional[MachineSnapshot] = None
+
+    # --- checkpoint / rewind ----------------------------------------------
+
+    def checkpoint(self) -> MachineSnapshot:
+        """Snapshot the whole platform (typically right after victim
+        launch) so every subsequent trial can fork from it."""
+        self._checkpoint = MachineSnapshot.take(self.env)
+        return self._checkpoint
+
+    def rewind(self, snapshot: Optional[MachineSnapshot] = None
+               ) -> MachineSnapshot:
+        """Restore the platform to *snapshot* (default: the last
+        :meth:`checkpoint`).  The snapshot survives, so rewinding many
+        times replays from the identical starting state."""
+        snapshot = snapshot if snapshot is not None else self._checkpoint
+        if snapshot is None:
+            raise RuntimeError("rewind() without a prior checkpoint()")
+        snapshot.restore(self.env)
+        return snapshot
 
     # --- setup helpers ---------------------------------------------------
 

@@ -78,3 +78,14 @@ class BranchPredictor:
         attacker-controlled priming of §4.2.3."""
         self._table[self._index(pc)] = (
             STRONG_TAKEN if taken else STRONG_NOT_TAKEN)
+
+    # --- snapshot support -------------------------------------------------
+
+    def capture(self) -> tuple:
+        return (list(self._table),
+                (self.stats.predictions, self.stats.mispredictions))
+
+    def restore(self, state: tuple):
+        table, stats = state
+        self._table = list(table)
+        self.stats.predictions, self.stats.mispredictions = stats

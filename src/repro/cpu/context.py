@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.isa import registers
 from repro.isa.program import Program
-from repro.cpu.rob import ReorderBuffer, ROBEntry
+from repro.cpu.rob import ReorderBuffer, ROBEntry, clone_entry
 
 
 class ContextState(enum.Enum):
@@ -229,3 +229,82 @@ class HardwareContext:
 
     def oldest_fence_seq(self) -> Optional[int]:
         return min(self.fence_seqs) if self.fence_seqs else None
+
+    # --- snapshot support ----------------------------------------------------
+
+    def _capture_txn(self) -> Optional[tuple]:
+        txn = self.txn
+        if txn is None:
+            return None
+        return (txn.fallback_index, dict(txn.int_regs), dict(txn.fp_regs),
+                list(txn.write_buffer), set(txn.write_lines),
+                set(txn.read_lines))
+
+    def capture(self, memo: dict) -> tuple:
+        """Clone all mutable state.  *memo* is the core-wide ROB-entry
+        clone memo; sharing it preserves entry aliasing between the
+        ROB, rename map, ready queue, load index and the event heap.
+        ``program`` and ``process`` are shared by reference (programs
+        are immutable; process state is captured by the kernel)."""
+        stats = self.stats
+        return (
+            dict(self.int_regs), dict(self.fp_regs),
+            self.rob.capture(memo),
+            {reg: clone_entry(e, memo) for reg, e in self.rename.items()},
+            [clone_entry(e, memo) for e in self.ready],
+            self._ready_dirty,
+            {addr: [clone_entry(e, memo) for e in bucket]
+             for addr, bucket in self.inflight_loads.items()},
+            self.state, self.program, self.process,
+            self.fetch_index, self.fetch_stall_until, self.blocked_until,
+            list(self.fence_seqs), set(self.replay_candidates),
+            self._capture_txn(),
+            self.txn_abort_pending, self.last_txn_abort_reason,
+            self.pending_interrupt, self.serialize_next_fetch,
+            (stats.fetched, stats.retired, stats.squashed,
+             stats.squash_events, stats.faults, stats.replays,
+             stats.txn_aborts, stats.interrupts),
+            self._next_seq,
+        )
+
+    def restore(self, state: tuple, memo: dict):
+        (int_regs, fp_regs, rob, rename, ready, ready_dirty, inflight,
+         ctx_state, program, process, fetch_index, fetch_stall_until,
+         blocked_until, fence_seqs, replay_candidates, txn,
+         txn_abort_pending, last_txn_abort_reason, pending_interrupt,
+         serialize_next_fetch, stats, next_seq) = state
+        self.int_regs = dict(int_regs)
+        self.fp_regs = dict(fp_regs)
+        self.rob.restore(rob, memo)
+        self.rename = {reg: clone_entry(e, memo)
+                       for reg, e in rename.items()}
+        self.ready = [clone_entry(e, memo) for e in ready]
+        self._ready_dirty = ready_dirty
+        self.inflight_loads = {
+            addr: [clone_entry(e, memo) for e in bucket]
+            for addr, bucket in inflight.items()}
+        self.state = ctx_state
+        self.program = program
+        self.process = process
+        self.fetch_index = fetch_index
+        self.fetch_stall_until = fetch_stall_until
+        self.blocked_until = blocked_until
+        self.fence_seqs = list(fence_seqs)
+        self.replay_candidates = set(replay_candidates)
+        if txn is None:
+            self.txn = None
+        else:
+            (fallback, txn_ints, txn_fps, write_buffer, write_lines,
+             read_lines) = txn
+            self.txn = TransactionState(
+                fallback_index=fallback, int_regs=dict(txn_ints),
+                fp_regs=dict(txn_fps), write_buffer=list(write_buffer),
+                write_lines=set(write_lines), read_lines=set(read_lines))
+        self.txn_abort_pending = txn_abort_pending
+        self.last_txn_abort_reason = last_txn_abort_reason
+        self.pending_interrupt = pending_interrupt
+        self.serialize_next_fetch = serialize_next_fetch
+        (self.stats.fetched, self.stats.retired, self.stats.squashed,
+         self.stats.squash_events, self.stats.faults, self.stats.replays,
+         self.stats.txn_aborts, self.stats.interrupts) = stats
+        self._next_seq = next_seq

@@ -31,7 +31,7 @@ from repro.cpu.branch import BranchPredictor
 from repro.cpu.config import CoreConfig, op_class
 from repro.cpu.context import ContextState, HardwareContext, TransactionState
 from repro.cpu.ports import PortSet
-from repro.cpu.rob import EntryState, ROBEntry
+from repro.cpu.rob import EntryState, ROBEntry, clone_entry
 from repro.cpu.traps import PanicTrapHandler, TrapAction, TrapHandler
 from repro.isa.instructions import Instruction, Opcode
 from repro.mem.cache import line_of
@@ -181,6 +181,51 @@ class Core:
             return 0
         self.cycle = target
         return skipped
+
+    # ------------------------------------------------------------------
+    # snapshot support
+    # ------------------------------------------------------------------
+
+    def capture(self) -> tuple:
+        """Clone every piece of core state that execution mutates.
+
+        One clone memo spans the event heap and all contexts, so an
+        in-flight entry referenced from several structures (ROB, rename
+        map, ready queue, load index, heap — including squashed entries
+        that live only in the heap) stays a single object in the
+        snapshot.  Hooks, the tracer and the trap handler are identity
+        wiring, not machine state, and are left untouched.
+        """
+        memo: dict = {}
+        return (
+            self.cycle,
+            self._event_tiebreak,
+            # Elementwise clone preserves the heap invariant: keys
+            # (due cycle, tiebreak) are unchanged.
+            [(due, tb, clone_entry(e, memo)) for due, tb, e in self._events],
+            self._rdrand.getstate(),
+            self._jitter.getstate(),
+            self.predictor.capture(),
+            self.ports.capture(),
+            [context.capture(memo) for context in self.contexts],
+        )
+
+    def restore(self, state: tuple):
+        (cycle, tiebreak, events, rdrand, jitter, predictor, ports,
+         contexts) = state
+        if len(contexts) != len(self.contexts):
+            raise ValueError("snapshot context count mismatch")
+        memo: dict = {}
+        self.cycle = cycle
+        self._event_tiebreak = tiebreak
+        self._events = [(due, tb, clone_entry(e, memo))
+                        for due, tb, e in events]
+        self._rdrand.setstate(rdrand)
+        self._jitter.setstate(jitter)
+        self.predictor.restore(predictor)
+        self.ports.restore(ports)
+        for context, context_state in zip(self.contexts, contexts):
+            context.restore(context_state, memo)
 
     # ------------------------------------------------------------------
     # stage 1: completion / writeback

@@ -58,6 +58,24 @@ class Machine:
     def set_trap_handler(self, handler: TrapHandler):
         self.core.trap_handler = handler
 
+    # --- snapshot support -------------------------------------------------
+
+    def capture(self) -> tuple:
+        """Clone the whole platform's mutable state (see
+        :mod:`repro.snapshot` for the composed, versioned snapshot)."""
+        return (self.phys.capture(), self.hierarchy.capture(),
+                self.tlbs.capture(), self.pwc.capture(),
+                self.walker.capture(), self.core.capture())
+
+    def restore(self, state: tuple):
+        phys, hierarchy, tlbs, pwc, walker, core = state
+        self.phys.restore(phys)
+        self.hierarchy.restore(hierarchy)
+        self.tlbs.restore(tlbs)
+        self.pwc.restore(pwc)
+        self.walker.restore(walker)
+        self.core.restore(core)
+
     def step(self, cycles: int = 1):
         """Advance the machine by *cycles* cycles."""
         for _ in range(cycles):

@@ -67,6 +67,14 @@ class Port:
     def new_cycle(self):
         self._issued_this_cycle = False
 
+    def capture(self) -> tuple:
+        return (self.busy_until, self._issued_this_cycle,
+                self.stats.issued, self.stats.contended)
+
+    def restore(self, state: tuple):
+        (self.busy_until, self._issued_this_cycle,
+         self.stats.issued, self.stats.contended) = state
+
 
 class PortSet:
     """All ports of one core, with simple oldest-first arbitration."""
@@ -103,3 +111,14 @@ class PortSet:
         """``{port: (issued, contended_cycles)}`` for diagnostics."""
         return {p.name: (p.stats.issued, p.stats.contended)
                 for p in self.ports}
+
+    # --- snapshot support -------------------------------------------------
+
+    def capture(self) -> tuple:
+        return tuple(port.capture() for port in self.ports)
+
+    def restore(self, state: tuple):
+        if len(state) != len(self.ports):
+            raise ValueError("snapshot port count mismatch")
+        for port, port_state in zip(self.ports, state):
+            port.restore(port_state)

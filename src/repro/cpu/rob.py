@@ -90,6 +90,39 @@ class ROBEntry:
                 f"{self.state.value}{' FAULT' if self.faulted else ''}>")
 
 
+#: ROBEntry slots copied verbatim when cloning.  ``instr`` (immutable
+#: program text) and ``fault`` (frozen dataclass) are shared by
+#: reference; ``operands`` and ``dependents`` need fresh containers.
+_SCALAR_SLOTS = tuple(s for s in ROBEntry.__slots__
+                      if s not in ("operands", "dependents"))
+
+
+def clone_entry(entry: Optional[ROBEntry], memo: dict
+                ) -> Optional[ROBEntry]:
+    """Deep-copy *entry* and (recursively) its dependents.
+
+    *memo* maps ``id(original) -> clone`` and must be shared across
+    every structure captured from one core — the same in-flight entry
+    is referenced from the ROB, the rename map, the ready queue, the
+    in-flight-load index and the event heap, and restoring must rebuild
+    exactly that aliasing.  Callers must keep the originals alive while
+    the memo is in use (ids are only unique among live objects).
+    """
+    if entry is None:
+        return None
+    clone = memo.get(id(entry))
+    if clone is not None:
+        return clone
+    clone = ROBEntry.__new__(ROBEntry)
+    memo[id(entry)] = clone
+    for slot in _SCALAR_SLOTS:
+        setattr(clone, slot, getattr(entry, slot))
+    clone.operands = list(entry.operands)
+    clone.dependents = [(clone_entry(dep, memo), slot)
+                        for dep, slot in entry.dependents]
+    return clone
+
+
 class ReorderBuffer:
     """Program-ordered queue of in-flight instructions for one context."""
 
@@ -165,3 +198,14 @@ class ReorderBuffer:
             if e.state is not EntryState.COMPLETED:
                 return False
         return True
+
+    # --- snapshot support -------------------------------------------------
+
+    def capture(self, memo: dict) -> tuple:
+        return ([clone_entry(e, memo) for e in self.entries],
+                [clone_entry(e, memo) for e in self._stores])
+
+    def restore(self, state: tuple, memo: dict):
+        entries, stores = state
+        self.entries = deque(clone_entry(e, memo) for e in entries)
+        self._stores = deque(clone_entry(e, memo) for e in stores)

@@ -51,3 +51,14 @@ class FrameAllocator:
 
     def is_allocated(self, frame: int) -> bool:
         return frame in self._allocated
+
+    # --- snapshot support -------------------------------------------------
+
+    def capture(self) -> tuple:
+        return (self._next, list(self._free), set(self._allocated))
+
+    def restore(self, state: tuple):
+        next_frame, free, allocated = state
+        self._next = next_frame
+        self._free = list(free)
+        self._allocated = set(allocated)

@@ -186,3 +186,32 @@ class Kernel(TrapHandler):
             if action is not None:
                 return action
         return TrapAction(cost=self._cost(self.config.interrupt_cost))
+
+    # --- snapshot support -------------------------------------------------
+
+    def capture(self) -> tuple:
+        """Clone kernel state.  Process *objects* are shared by
+        reference (the rest of the system holds pointers to them);
+        their mutable address-space state is cloned per process.  Hook
+        registrations are identity wiring and stay untouched."""
+        stats = self.stats
+        return (
+            (stats.page_faults, stats.minor_faults, stats.demand_pages,
+             stats.segfaults, stats.interrupts, stats.hook_claims),
+            self._next_pid,
+            self._jitter.getstate(),
+            self.frames.capture(),
+            [(process, process.capture()) for process in self.processes],
+        )
+
+    def restore(self, state: tuple):
+        stats, next_pid, jitter, frames, processes = state
+        (self.stats.page_faults, self.stats.minor_faults,
+         self.stats.demand_pages, self.stats.segfaults,
+         self.stats.interrupts, self.stats.hook_claims) = stats
+        self._next_pid = next_pid
+        self._jitter.setstate(jitter)
+        self.frames.restore(frames)
+        self.processes = [process for process, _ in processes]
+        for process, process_state in processes:
+            process.restore(process_state)

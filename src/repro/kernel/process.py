@@ -162,3 +162,27 @@ class Process:
 
     def read_words(self, va: int, count: int, width: int = 8) -> list:
         return [self.read(va + i * width, width) for i in range(count)]
+
+    # --- snapshot support -------------------------------------------------
+
+    def capture(self) -> tuple:
+        """Clone address-space bookkeeping.  Page-table *contents* live
+        in physical memory and are captured there; ``root_frame`` is
+        fixed at construction."""
+        return (
+            [VMA(v.name, v.start, v.size, v.flags, v.populated)
+             for v in self.vmas],
+            self._data_cursor,
+            dict(self.page_frames),
+            self.terminated,
+            self.enclave,
+        )
+
+    def restore(self, state: tuple):
+        vmas, data_cursor, page_frames, terminated, enclave = state
+        self.vmas = [VMA(v.name, v.start, v.size, v.flags, v.populated)
+                     for v in vmas]
+        self._data_cursor = data_cursor
+        self.page_frames = dict(page_frames)
+        self.terminated = terminated
+        self.enclave = enclave

@@ -9,8 +9,8 @@ the abort trigger MicroScope's Section 7.1 exploits.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.mem.replacement import ReplacementPolicy, make_policy
 
@@ -59,6 +59,10 @@ class CacheStats:
 class Cache:
     """One level of the cache hierarchy."""
 
+    __slots__ = ("config", "name", "latency", "_num_sets", "_ways",
+                 "_line_shift", "_policy", "_tags", "_dirty", "_meta",
+                 "_where", "_occupied", "stats", "_evict_observers")
+
     def __init__(self, config: CacheConfig):
         config.num_sets  # validate geometry eagerly
         self.config = config
@@ -75,8 +79,12 @@ class Cache:
         self._dirty: List[List[bool]] = [
             [False] * self._ways for _ in range(self._num_sets)]
         self._meta = [self._policy.new_state() for _ in range(self._num_sets)]
-        # line address -> (set index, way) for O(1) lookups.
-        self._where: Dict[int, int] = {}
+        # line address -> (set index, way) for O(1) lookups that never
+        # recompute the set index.
+        self._where: Dict[int, Tuple[int, int]] = {}
+        # Scratch occupancy buffer reused by every insert() so the hot
+        # fill path allocates nothing.
+        self._occupied: List[bool] = [False] * self._ways
         self.stats = CacheStats()
         self._evict_observers: List[Callable[[int, bool], None]] = []
 
@@ -88,11 +96,23 @@ class Cache:
     def lines_mapping_to(self, paddr: int, count: int,
                          stride_base: int = 1 << 30) -> List[int]:
         """Return *count* distinct line addresses that map to the same
-        set as *paddr* (an eviction set), starting far away from it."""
+        set as *paddr* (an eviction set), starting far away from it.
+
+        The target line itself is never part of the set: when *paddr*
+        lands at or above *stride_base* the naive arithmetic sequence
+        walks straight through it, which would silently self-evict the
+        probe target (or alias two attacker allocations).
+        """
+        target_line = line_of(paddr)
         target_set = self.set_index(paddr)
         span = self._num_sets << self._line_shift
-        first = stride_base + (target_set << self._line_shift)
-        return [first + i * span for i in range(count)]
+        addr = stride_base + (target_set << self._line_shift)
+        lines: List[int] = []
+        while len(lines) < count:
+            if addr != target_line:
+                lines.append(addr)
+            addr += span
+        return lines
 
     # --- observers ------------------------------------------------------
 
@@ -109,12 +129,12 @@ class Cache:
 
     def lookup(self, paddr: int, is_write: bool = False) -> bool:
         """Probe for *paddr*; update recency (and dirtiness on write)."""
-        line_addr = line_of(paddr)
-        way = self._where.get(line_addr)
-        if way is None:
+        line_addr = paddr & ~(LINE_SIZE - 1)
+        place = self._where.get(line_addr)
+        if place is None:
             self.stats.misses += 1
             return False
-        set_idx = self.set_index(paddr)
+        set_idx, way = place
         self._policy.on_access(self._meta[set_idx], way)
         if is_write:
             self._dirty[set_idx][way] = True
@@ -128,16 +148,19 @@ class Cache:
     def insert(self, paddr: int, dirty: bool = False) -> Optional[int]:
         """Fill the line of *paddr*; return the evicted line address (and
         record its dirtiness via the observer) or ``None``."""
-        line_addr = line_of(paddr)
-        set_idx = self.set_index(paddr)
+        line_addr = paddr & ~(LINE_SIZE - 1)
         existing = self._where.get(line_addr)
         if existing is not None:
-            self._policy.on_access(self._meta[set_idx], existing)
+            set_idx, way = existing
+            self._policy.on_access(self._meta[set_idx], way)
             if dirty:
-                self._dirty[set_idx][existing] = True
+                self._dirty[set_idx][way] = True
             return None
+        set_idx = (paddr >> self._line_shift) % self._num_sets
         tags = self._tags[set_idx]
-        occupied = [tag is not None for tag in tags]
+        occupied = self._occupied
+        for way in range(self._ways):
+            occupied[way] = tags[way] is not None
         way = self._policy.choose_victim(self._meta[set_idx], occupied)
         evicted = tags[way]
         if evicted is not None:
@@ -147,7 +170,7 @@ class Cache:
             self._notify_evict(evicted, was_dirty)
         tags[way] = line_addr
         self._dirty[set_idx][way] = dirty
-        self._where[line_addr] = way
+        self._where[line_addr] = (set_idx, way)
         self._policy.on_fill(self._meta[set_idx], way)
         return evicted
 
@@ -155,10 +178,10 @@ class Cache:
         """Drop the line of *paddr* (clflush).  Returns ``True`` if it
         was present."""
         line_addr = line_of(paddr)
-        way = self._where.pop(line_addr, None)
-        if way is None:
+        place = self._where.pop(line_addr, None)
+        if place is None:
             return False
-        set_idx = self.set_index(paddr)
+        set_idx, way = place
         was_dirty = self._dirty[set_idx][way]
         self._tags[set_idx][way] = None
         self._dirty[set_idx][way] = False
@@ -179,3 +202,30 @@ class Cache:
 
     def __len__(self) -> int:
         return len(self._where)
+
+    # --- snapshot support -------------------------------------------------
+
+    def capture(self) -> tuple:
+        """Clone all mutable tag-store state (see :mod:`repro.snapshot`)."""
+        return (
+            [list(ways) for ways in self._tags],
+            [list(ways) for ways in self._dirty],
+            [self._policy.clone_state(meta) for meta in self._meta],
+            dict(self._where),
+            self._policy.capture_rng(),
+            (self.stats.hits, self.stats.misses, self.stats.evictions,
+             self.stats.invalidations),
+        )
+
+    def restore(self, state: tuple):
+        """Restore state captured by :meth:`capture`.  The snapshot is
+        cloned again, so one capture supports many restores.  Observer
+        registrations are identity, not state, and are left alone."""
+        tags, dirty, meta, where, rng, stats = state
+        self._tags = [list(ways) for ways in tags]
+        self._dirty = [list(ways) for ways in dirty]
+        self._meta = [self._policy.clone_state(m) for m in meta]
+        self._where = dict(where)
+        self._policy.restore_rng(rng)
+        (self.stats.hits, self.stats.misses, self.stats.evictions,
+         self.stats.invalidations) = stats

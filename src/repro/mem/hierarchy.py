@@ -158,3 +158,18 @@ class MemoryHierarchy:
         for cache in self.levels:
             cache.stats.reset()
         self.dram_accesses = 0
+
+    # --- snapshot support -------------------------------------------------
+
+    def capture(self) -> tuple:
+        """Clone every level's tag state plus DRAM counters."""
+        return ([cache.capture() for cache in self.levels],
+                self.dram_accesses)
+
+    def restore(self, state: tuple):
+        levels, dram_accesses = state
+        if len(levels) != len(self.levels):
+            raise ValueError("snapshot level count mismatch")
+        for cache, level_state in zip(self.levels, levels):
+            cache.restore(level_state)
+        self.dram_accesses = dram_accesses

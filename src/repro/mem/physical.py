@@ -6,6 +6,12 @@ Values are stored at word granularity (4- or 8-byte, always aligned),
 which is sufficient for the micro-ISA's load/store widths and for page
 table entries.
 
+Words are grouped per frame so that a machine snapshot can share frame
+dictionaries with the live memory copy-on-write: taking a snapshot
+marks every live frame COW and aliases its dict; the first subsequent
+write to a COW frame clones just that frame.  Holding a snapshot
+therefore costs O(frames touched since capture), not O(total memory).
+
 The cache hierarchy (:mod:`repro.mem.hierarchy`) models *presence and
 latency* only; data always lives here, so reads are coherent by
 construction.  This mirrors the common simulator split between a timing
@@ -14,7 +20,7 @@ model and a functional store.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Set
 
 FRAME_SIZE = 4096
 FRAME_SHIFT = 12
@@ -27,12 +33,19 @@ class PhysicalMemoryError(Exception):
 class PhysicalMemory:
     """Sparse word-granular physical memory of *num_frames* frames."""
 
+    __slots__ = ("num_frames", "size", "_frames", "_cow")
+
     def __init__(self, num_frames: int = 1 << 16):
         if num_frames <= 0:
             raise ValueError("num_frames must be positive")
         self.num_frames = num_frames
         self.size = num_frames * FRAME_SIZE
-        self._words: Dict[int, object] = {}
+        # frame number -> {paddr: word}.  Frames never written have no
+        # entry and read as zero.
+        self._frames: Dict[int, Dict[int, object]] = {}
+        # Frames whose dict is aliased by at least one snapshot; the
+        # next write clones the dict first (copy-on-write).
+        self._cow: Set[int] = set()
 
     def _check(self, paddr: int, width: int):
         if width not in (4, 8):
@@ -47,12 +60,22 @@ class PhysicalMemory:
     def read(self, paddr: int, width: int = 8):
         """Read the word at *paddr*.  Unwritten memory reads as zero."""
         self._check(paddr, width)
-        return self._words.get(paddr, 0)
+        frame = self._frames.get(paddr >> FRAME_SHIFT)
+        return frame.get(paddr, 0) if frame is not None else 0
 
     def write(self, paddr: int, value, width: int = 8):
         """Write *value* (int or float) at *paddr*."""
         self._check(paddr, width)
-        self._words[paddr] = value
+        frame_no = paddr >> FRAME_SHIFT
+        frame = self._frames.get(frame_no)
+        if frame is None:
+            self._frames[frame_no] = {paddr: value}
+            return
+        if frame_no in self._cow:
+            frame = dict(frame)
+            self._frames[frame_no] = frame
+            self._cow.discard(frame_no)
+        frame[paddr] = value
 
     def frame_base(self, frame: int) -> int:
         """Physical address of the first byte of *frame*."""
@@ -62,12 +85,29 @@ class PhysicalMemory:
 
     def zero_frame(self, frame: int):
         """Clear every word of *frame* (used for fresh page tables)."""
-        base = self.frame_base(frame)
-        for paddr in range(base, base + FRAME_SIZE, 8):
-            self._words.pop(paddr, None)
-        for paddr in range(base, base + FRAME_SIZE, 4):
-            self._words.pop(paddr, None)
+        self.frame_base(frame)  # range check
+        self._frames.pop(frame, None)
+        self._cow.discard(frame)
 
     def words_in_use(self) -> int:
         """Number of words currently stored (for diagnostics)."""
-        return len(self._words)
+        return sum(len(frame) for frame in self._frames.values())
+
+    # --- snapshot support -------------------------------------------------
+
+    def capture(self) -> Dict[int, Dict[int, object]]:
+        """Alias every live frame into a snapshot and mark them all COW.
+
+        The returned mapping shares frame dicts with the live memory;
+        neither side ever mutates a shared dict (writers clone first),
+        so capture is O(live frames) regardless of memory size.
+        """
+        self._cow.update(self._frames)
+        return dict(self._frames)
+
+    def restore(self, frames: Dict[int, Dict[int, object]]):
+        """Install the frames captured by :meth:`capture`.  The frame
+        dicts stay shared (and COW-marked) so the same snapshot can be
+        restored any number of times."""
+        self._frames = dict(frames)
+        self._cow = set(frames)

@@ -43,6 +43,20 @@ class ReplacementPolicy:
         policy must return a free way when one exists."""
         raise NotImplementedError
 
+    def clone_state(self, state):
+        """Deep-copy one set's metadata for snapshotting.  Both built-in
+        state shapes (recency/tree-bit lists, or ``None``) are lists or
+        immutable, so a shallow list copy suffices."""
+        return list(state) if isinstance(state, list) else state
+
+    def capture_rng(self) -> Optional[tuple]:
+        """Internal RNG state, for policies that have one."""
+        return None
+
+    def restore_rng(self, state: Optional[tuple]):
+        if state is not None:
+            raise ValueError(f"{type(self).__name__} has no RNG state")
+
 
 class LRUPolicy(ReplacementPolicy):
     """True LRU: state is a recency list, most recent last."""
@@ -147,6 +161,14 @@ class RandomPolicy(ReplacementPolicy):
 
     def on_invalidate(self, state, way: int):
         pass
+
+    def capture_rng(self) -> Optional[tuple]:
+        return self._rng.getstate()
+
+    def restore_rng(self, state: Optional[tuple]):
+        if state is None:
+            raise ValueError("RandomPolicy snapshot is missing RNG state")
+        self._rng.setstate(state)
 
 
 def make_policy(name: str, ways: int, seed: int = 0) -> ReplacementPolicy:

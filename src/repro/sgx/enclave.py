@@ -120,6 +120,20 @@ class Enclave:
     def aex_count(self) -> int:
         return len(self.aex_log)
 
+    # --- snapshot support -------------------------------------------------
+
+    def capture(self) -> tuple:
+        return (self.measurement, self.entered,
+                [AEXRecord(r.cycle, r.page_aligned_va, r.is_write)
+                 for r in self.aex_log])
+
+    def restore(self, state: tuple):
+        measurement, entered, aex_log = state
+        self.measurement = measurement
+        self.entered = entered
+        self.aex_log = [AEXRecord(r.cycle, r.page_aligned_va, r.is_write)
+                        for r in aex_log]
+
 
 class SGXPlatform:
     """Factory/registry for enclaves, plus the supervisor access guard.
@@ -163,3 +177,16 @@ class SGXPlatform:
         if process.enclave is not None:
             process.enclave.check_supervisor_access(va)
         process.write(va, value, width)
+
+    # --- snapshot support -------------------------------------------------
+
+    def capture(self) -> tuple:
+        """Enclave objects are shared by reference (processes point at
+        them); their mutable state is cloned per enclave."""
+        return tuple((enclave, enclave.capture())
+                     for enclave in self.enclaves)
+
+    def restore(self, state: tuple):
+        self.enclaves = [enclave for enclave, _ in state]
+        for enclave, enclave_state in state:
+            enclave.restore(enclave_state)

@@ -1,0 +1,22 @@
+"""Machine snapshot/restore for warm-started replay experiments.
+
+See :mod:`repro.snapshot.machine` for the snapshot composition and
+:mod:`repro.snapshot.cache` for the per-worker warm-start cache used
+by the sweep harness.
+"""
+
+from repro.snapshot.cache import cache_size, clear_cache, warm_start
+from repro.snapshot.machine import (
+    SNAPSHOT_VERSION,
+    MachineSnapshot,
+    SnapshotError,
+)
+
+__all__ = [
+    "MachineSnapshot",
+    "SnapshotError",
+    "SNAPSHOT_VERSION",
+    "cache_size",
+    "clear_cache",
+    "warm_start",
+]

@@ -1,0 +1,57 @@
+"""Per-worker snapshot cache for warm-started experiment sweeps.
+
+Sweep trial functions (:mod:`repro.harness`) run in forked worker
+processes, and each trial historically paid the full cost of
+``AttackEnvironment.build`` + victim setup + launch.  This cache keeps
+one built environment and its post-setup :class:`MachineSnapshot` per
+*builder key* in the worker process; every trial after the first simply
+rewinds the cached environment to the snapshot — the amortization that
+turns N-trial sweeps from O(N · full-run) into O(setup + N · window).
+
+Keys must be deterministic functions of the experiment parameters
+(e.g. the harness' derived seed plus the victim configuration) so that
+a cache hit is guaranteed to mean "bit-identical starting state".
+Workers created by fork inherit the parent's cache; builds after the
+fork stay private to each worker, which is exactly the per-worker
+semantics the harness needs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.snapshot.machine import MachineSnapshot
+
+#: key -> (environment, builder payload, post-setup snapshot)
+_CACHE: Dict[object, Tuple[object, object, MachineSnapshot]] = {}
+
+
+def warm_start(key, builder: Callable[[], Tuple[object, object]]
+               ) -> Tuple[object, object]:
+    """Return ``(env, payload)`` positioned at the post-setup snapshot.
+
+    *builder* is invoked once per key per worker process and must
+    return ``(env, payload)``: the environment to snapshot (anything
+    :meth:`MachineSnapshot.take` accepts) and an arbitrary payload of
+    setup artifacts (processes, programs, addresses...) the trial needs
+    alongside it.  On a hit, the cached environment is rewound to the
+    snapshot before being returned, so every call observes the same
+    bit-exact machine state.
+    """
+    entry = _CACHE.get(key)
+    if entry is None:
+        env, payload = builder()
+        _CACHE[key] = (env, payload, MachineSnapshot.take(env))
+        return env, payload
+    env, payload, snapshot = entry
+    snapshot.restore(env)
+    return env, payload
+
+
+def cache_size() -> int:
+    return len(_CACHE)
+
+
+def clear_cache():
+    """Drop every cached environment (tests and memory pressure)."""
+    _CACHE.clear()

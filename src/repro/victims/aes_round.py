@@ -54,6 +54,16 @@ class AESVictim:
         words = [process.read(self.output_va + 4 * i, 4) for i in range(4)]
         return b"".join(int(w).to_bytes(4, "big") for w in words)
 
+    def write_ciphertext(self, process: Process, ciphertext: bytes):
+        """(Re)write the input block.  The program embeds only the
+        buffer's address, so a snapshot of a launched victim can be
+        retargeted at a new ciphertext by rewriting these four words."""
+        for i in range(4):
+            process.write(self.input_va + 4 * i,
+                          int.from_bytes(ciphertext[4 * i:4 * i + 4],
+                                         "big"),
+                          width=4)
+
 
 def setup_aes_victim(process: Process, key: bytes,
                      ciphertext: bytes) -> AESVictim:
@@ -74,15 +84,13 @@ def setup_aes_victim(process: Process, key: bytes,
     input_va = process.alloc(4096, "aes-input")
     output_va = process.alloc(4096, "aes-output")
     stack_va = process.alloc(4096, "aes-stack")
-    for i in range(4):
-        process.write(input_va + 4 * i,
-                      int.from_bytes(ciphertext[4 * i:4 * i + 4], "big"),
-                      width=4)
     program = build_aes_decrypt_program(
         rk_va, tuple(td_vas), td4_va, input_va, output_va, stack_va,
         rounds)
-    return AESVictim(program, rk_va, tuple(td_vas), td4_va, input_va,
-                     output_va, stack_va, rounds)
+    victim = AESVictim(program, rk_va, tuple(td_vas), td4_va, input_va,
+                       output_va, stack_va, rounds)
+    victim.write_ciphertext(process, ciphertext)
+    return victim
 
 
 #: (source state register offsets) per statement: which s word feeds

@@ -34,6 +34,14 @@ class ControlFlowVictim:
     def handle_index(self) -> int:
         return self.program.find_one(REPLAY_HANDLE)
 
+    def write_secret(self, process: Process, secret: int):
+        """(Re)write the branch secret.  The program embeds only
+        ``secret_va``, so a snapshot of a launched victim can be
+        retargeted at either branch side by rewriting this word."""
+        if secret not in (0, 1):
+            raise ValueError("secret must be 0 or 1")
+        process.write(self.secret_va, secret)
+
 
 def setup_control_flow_victim(process: Process, secret: int,
                               divisions: int = 2,

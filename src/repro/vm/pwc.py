@@ -85,3 +85,14 @@ class PageWalkCache:
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    # --- snapshot support -------------------------------------------------
+
+    def capture(self) -> tuple:
+        return (OrderedDict(self._entries),
+                (self.stats.hits, self.stats.misses))
+
+    def restore(self, state: tuple):
+        entries, stats = state
+        self._entries = OrderedDict(entries)
+        self.stats.hits, self.stats.misses = stats

@@ -127,6 +127,25 @@ class TLB:
     def occupancy(self) -> int:
         return sum(len(entries) for entries in self._sets)
 
+    # --- snapshot support -------------------------------------------------
+
+    def capture(self) -> tuple:
+        """Clone all sets (entry objects copied — they are mutable)."""
+        return (
+            [[TLBEntry(e.vpn, e.pcid, e.frame, e.flags) for e in entries]
+             for entries in self._sets],
+            (self.stats.hits, self.stats.misses, self.stats.evictions,
+             self.stats.invalidations),
+        )
+
+    def restore(self, state: tuple):
+        sets, stats = state
+        self._sets = [
+            [TLBEntry(e.vpn, e.pcid, e.frame, e.flags) for e in entries]
+            for entries in sets]
+        (self.stats.hits, self.stats.misses, self.stats.evictions,
+         self.stats.invalidations) = stats
+
 
 @dataclass
 class TLBHierarchyConfig:
@@ -191,3 +210,14 @@ class TLBHierarchy:
     def flush_all(self):
         for tlb in (self.l1d, self.l1i, self.l2):
             tlb.flush_all()
+
+    # --- snapshot support -------------------------------------------------
+
+    def capture(self) -> tuple:
+        return (self.l1d.capture(), self.l1i.capture(), self.l2.capture())
+
+    def restore(self, state: tuple):
+        l1d, l1i, l2 = state
+        self.l1d.restore(l1d)
+        self.l1i.restore(l1i)
+        self.l2.restore(l2)

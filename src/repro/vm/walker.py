@@ -82,6 +82,17 @@ class PageWalker:
         #: memory, as the OS's store would be).
         self.leaf_race_hook = None
 
+    # --- snapshot support -------------------------------------------------
+
+    def capture(self) -> tuple:
+        """Only the counters are mutable state; hooks are identity."""
+        return (self.stats.walks, self.stats.faults,
+                self.stats.total_latency)
+
+    def restore(self, state: tuple):
+        (self.stats.walks, self.stats.faults,
+         self.stats.total_latency) = state
+
     def walk(self, pcid: int, root_frame: int, va: int,
              is_write: bool = False, is_instruction: bool = False,
              pc: Optional[int] = None,

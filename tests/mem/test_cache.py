@@ -112,6 +112,22 @@ def test_lines_mapping_to_same_set():
         assert line != line_of(target)
 
 
+def test_lines_mapping_to_skips_target_above_stride_base():
+    """Regression: a target at or above ``stride_base`` used to appear
+    in its own eviction set (the stride walk lands exactly on it)."""
+    cache = small_cache(ways=4, sets=8)
+    stride_base = 0x4000
+    span = 8 * 64                      # sets << line_shift
+    target = stride_base + 2 * span + 0x40   # on the stride walk, set 1
+    eviction_set = cache.lines_mapping_to(target, 4,
+                                          stride_base=stride_base)
+    assert len(eviction_set) == 4
+    assert line_of(target) not in eviction_set
+    assert len(set(eviction_set)) == 4
+    for line in eviction_set:
+        assert cache.set_index(line) == cache.set_index(target)
+
+
 def test_resident_lines_sorted():
     cache = small_cache()
     cache.insert(0x2000)

@@ -57,6 +57,34 @@ def test_flush_range():
         assert h.peek_level(0x2000 + offset) == DRAM_LEVEL
 
 
+def test_flush_range_unaligned_start_covers_first_line():
+    """A start address inside a line must still flush that line."""
+    h = tiny_hierarchy()
+    h.access(0x2000)
+    h.access(0x2040)
+    h.flush_range(0x2008, 0x40)     # spans the tail of line 0x2000
+    assert h.peek_level(0x2000) == DRAM_LEVEL
+    assert h.peek_level(0x2040) == DRAM_LEVEL
+
+
+def test_flush_range_unaligned_size_covers_last_line():
+    """A range ending mid-line must flush the line it ends inside."""
+    h = tiny_hierarchy()
+    for offset in range(0, 0x100, 64):
+        h.access(0x2000 + offset)
+    h.flush_range(0x2000, 0x81)     # one byte into the third line
+    for offset in (0x0, 0x40, 0x80):
+        assert h.peek_level(0x2000 + offset) == DRAM_LEVEL
+    assert h.peek_level(0x20c0) == 0   # untouched fourth line
+
+
+def test_flush_range_zero_size_is_noop():
+    h = tiny_hierarchy()
+    h.access(0x2000)
+    h.flush_range(0x2000, 0)
+    assert h.peek_level(0x2000) == 0
+
+
 def test_hit_latency_table():
     h = tiny_hierarchy()
     assert h.hit_latency(0) == 4
@@ -95,6 +123,21 @@ def test_reset_stats():
     h.reset_stats()
     assert h.dram_accesses == 0
     assert h.l1.stats.misses == 0
+
+
+def test_reset_stats_keeps_resident_lines():
+    """Counter resets must not disturb cache contents: the next access
+    to a resident line is still a pure L1 hit."""
+    h = tiny_hierarchy()
+    h.access(0x100)
+    h.access(0x2000)
+    h.reset_stats()
+    assert h.l1.contains(0x100)
+    assert h.l1.contains(0x2000)
+    assert h.access(0x100) == h.hit_latency(0)
+    assert h.l1.stats.hits == 1
+    assert h.l1.stats.misses == 0
+    assert h.dram_accesses == 0
 
 
 def test_level_named_unknown():
