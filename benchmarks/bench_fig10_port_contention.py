@@ -61,8 +61,8 @@ def test_figure10(once):
         ])
     ratio = (div.above_threshold / max(mul.above_threshold, 1))
     table = render_table(
-        f"Figure 10: monitor latency samples (threshold ~ paper's 120c "
-        f"line; paper: 4 vs 64 over threshold, 16x)",
+        "Figure 10: monitor latency samples (threshold ~ paper's 120c "
+        "line; paper: 4 vs 64 over threshold, 16x)",
         ["victim", "samples", "threshold", "above", "max-lat",
          "replays", "verdict", "correct"],
         rows)

@@ -14,6 +14,15 @@ restore, run again, and require the machine report to be identical.
 This is the functional contract the warm-start experiment drivers
 depend on, checked on every CI run in a few hundred milliseconds.
 
+Finally, a tracing overhead check: the replay-attack workload runs
+once with no tracer (the configuration the regression gate prices)
+and once with an ``EventTracer`` attached.  Both runs must produce a
+bit-identical machine report — tracing observes, it never perturbs —
+and the measured overhead is written to
+``benchmarks/results/tracing_overhead.json`` so its trajectory is
+visible across PRs.  Only the off-vs-baseline comparison gates;
+tracing-on cost is reported, not gated.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/ci_throughput_smoke.py \
@@ -92,6 +101,58 @@ def snapshot_roundtrip_smoke() -> bool:
     return True
 
 
+def tracing_overhead_check() -> bool:
+    """Price tracing and prove it is purely observational.
+
+    Runs the replay-attack workload tracing-off and tracing-on,
+    requires bit-identical machine reports (and a non-empty trace),
+    and persists both rates plus the slowdown factor as a JSON
+    artifact.  Returns True on success.
+    """
+    import dataclasses
+
+    from repro.observability import EventTracer
+
+    (result_off, host_off) = timed(run_replay_attack, True, 200)
+    tracer = EventTracer(capacity=1 << 15)
+    (result_on, host_on) = timed(run_replay_attack, True, 200, tracer)
+    cycles_off, report_off = result_off
+    cycles_on, report_on = result_on
+
+    ok = True
+    if (cycles_off != cycles_on
+            or dataclasses.asdict(report_off)
+            != dataclasses.asdict(report_on)):
+        print("tracing overhead: FAIL (tracing perturbed the "
+              "simulation results)")
+        ok = False
+    if tracer.total_emitted == 0:
+        print("tracing overhead: FAIL (tracer attached but captured "
+              "no events)")
+        ok = False
+
+    rate_off = cycles_off / host_off
+    rate_on = cycles_on / host_on
+    slowdown = rate_off / rate_on if rate_on else float("inf")
+    payload = {
+        "workload": "replay_attack_fast_forward",
+        "cycles": cycles_off,
+        "tracing_off_cycles_per_host_second": rate_off,
+        "tracing_on_cycles_per_host_second": rate_on,
+        "tracing_slowdown_factor": slowdown,
+        "events_emitted": tracer.total_emitted,
+        "events_dropped": tracer.dropped,
+        "bit_identical": ok,
+    }
+    out = Path(__file__).parent / "results" / "tracing_overhead.json"
+    out.parent.mkdir(exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    if ok:
+        print(f"tracing overhead: OK ({slowdown:.2f}x slowdown with "
+              f"{tracer.total_emitted} events; results bit-identical)")
+    return ok
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -102,6 +163,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     failed = not snapshot_roundtrip_smoke()
+    failed = not tracing_overhead_check() or failed
 
     baseline_path = Path(args.baseline)
     if not baseline_path.exists():

@@ -16,6 +16,8 @@ from pathlib import Path
 
 import pytest
 
+from repro.observability import collect_machines, merge_dumps
+
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
@@ -63,6 +65,33 @@ def load_json(name: str):
     if not path.exists():
         return None
     return json.loads(path.read_text())
+
+
+@pytest.fixture(autouse=True)
+def _metrics_artifact(request):
+    """Every benchmark emits a metrics JSON alongside its table.
+
+    All machines built during the test are observed (via the
+    machine-collector hook) and their registry dumps sum-merged into
+    ``benchmarks/results/metrics/<test>.json``.  Machines built in
+    worker *processes* (the parallel sweep harness) are not visible
+    here; their counters stay worker-local.
+    """
+    with collect_machines() as machines:
+        yield
+    if not machines:
+        return
+    payload = {
+        "test": request.node.name,
+        "machines": len(machines),
+        "metrics": merge_dumps([m.metrics.dump() for m in machines]),
+    }
+    out_dir = RESULTS_DIR / "metrics"
+    out_dir.mkdir(parents=True, exist_ok=True)
+    safe = "".join(c if c.isalnum() or c in "-_." else "_"
+                   for c in request.node.name)
+    (out_dir / f"{safe}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 @pytest.fixture

@@ -18,7 +18,6 @@ import time
 
 from repro.core.attacks.aes_cache import AESCacheAttack
 from repro.core.attacks.port_contention import PortContentionAttack
-from repro.core.module import MicroScopeConfig
 from repro.core.recipes import WalkLocation, WalkTuning, replay_n_times
 from repro.core.replayer import AttackEnvironment, Replayer
 from repro.cpu.config import CoreConfig
@@ -50,16 +49,22 @@ def run_spin(iterations: int, contexts: int = 1) -> int:
     return machine.cycle
 
 
-def run_replay_attack(fast_forward: bool, replays: int = 200):
+def run_replay_attack(fast_forward: bool, replays: int = 200,
+                      tracer=None):
     """Run the replay-attack workload; return ``(cycles, report)``.
 
     The report snapshot (per-context stats, cache/TLB/walker counters)
     lets callers assert that the fast-forward scheduler is bit-exact
-    against naive stepping, not merely cycle-equal.
+    against naive stepping, not merely cycle-equal.  Passing a
+    *tracer* (an ``EventTracer``) attaches it for the whole run — the
+    CI overhead check uses this to price tracing and to prove it does
+    not perturb simulation results.
     """
     rep = Replayer(AttackEnvironment.build(
         machine_config=MachineConfig(
             core=CoreConfig(fast_forward=fast_forward))))
+    if tracer is not None:
+        rep.machine.attach_tracer(tracer)
     victim_proc = rep.create_victim_process("victim")
     victim = setup_control_flow_victim(victim_proc, secret=1,
                                        divisions=2, multiplications=2)

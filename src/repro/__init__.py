@@ -23,8 +23,8 @@ Quick start::
     print(result.above_threshold, result.verdict)
 """
 
-__version__ = "1.0.0"
-
 from repro.core.replayer import AttackEnvironment, Replayer
+
+__version__ = "1.0.0"
 
 __all__ = ["AttackEnvironment", "Replayer", "__version__"]

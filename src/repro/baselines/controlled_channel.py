@@ -17,7 +17,6 @@ from typing import List, Optional
 from repro.core.replayer import AttackEnvironment, Replayer
 from repro.cpu.traps import TrapAction
 from repro.isa.program import Program, ProgramBuilder
-from repro.kernel.process import Process
 from repro.vm import address as vaddr
 
 

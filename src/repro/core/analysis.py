@@ -16,9 +16,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.crypto.aes_tables import ENTRIES_PER_LINE
 
 
 # --- latency thresholding ----------------------------------------------------

@@ -16,7 +16,7 @@ extraction proceeds as in the §4.2.2 attack.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Set
 
 from repro.core.analysis import classify_hits, majority_lines

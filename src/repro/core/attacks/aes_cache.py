@@ -23,7 +23,7 @@ Everything is extracted in a **single logical run** of the victim.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.core.analysis import classify_hits, majority_lines

@@ -41,8 +41,8 @@ so, per table::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.core.analysis import majority_lines, round1_byte_index
 from repro.core.attacks.aes_cache import AESCacheAttack, ProbeRecord

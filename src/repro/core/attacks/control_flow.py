@@ -15,9 +15,9 @@ PortContentionAttack`, and the misprediction-based inference is
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Optional
 
-from repro.core.analysis import classify_hits, majority_lines
+from repro.core.analysis import classify_hits
 from repro.core.recipes import (
     ReplayAction,
     ReplayDecision,

@@ -17,13 +17,12 @@ Two consequences the paper highlights, both demonstrated here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 from repro.core.replayer import AttackEnvironment, Replayer
 from repro.cpu.config import CoreConfig
 from repro.cpu.machine import MachineConfig
 from repro.isa.instructions import Opcode
-from repro.mem.cache import line_of
 from repro.victims.integrity import setup_tsx_victim
 
 

@@ -16,7 +16,7 @@ Table 2::
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.recipes import (
@@ -30,8 +30,12 @@ from repro.core.recipes import (
 from repro.cpu.traps import TrapAction
 from repro.kernel.kernel import Kernel
 from repro.kernel.process import Process
+from repro.observability.stats import MicroScopeStats
+from repro.observability.tracer import MICROSCOPE_TID
 from repro.vm import address as vaddr
 from repro.vm.faults import PageFault
+
+__all__ = ["MicroScopeConfig", "MicroScopeModule", "MicroScopeStats"]
 
 
 @dataclass
@@ -55,19 +59,6 @@ class MicroScopeConfig:
     probe_noise_seed: int = 99
 
 
-@dataclass
-class MicroScopeStats:
-    handle_faults: int = 0
-    pivot_faults: int = 0
-    releases: int = 0
-    probes: int = 0
-    primes: int = 0
-
-    def reset(self):
-        for name in self.__dataclass_fields__:
-            setattr(self, name, 0)
-
-
 class MicroScopeModule:
     """Kernel-resident replay-attack engine."""
 
@@ -82,6 +73,19 @@ class MicroScopeModule:
         self.recipes: List[AttackRecipe] = []
         self._noise = random.Random(self.config.probe_noise_seed)
         kernel.add_fault_hook(self._trampoline)
+        self.machine.metrics.register_group(
+            "microscope", self.stats, replace=True)
+        self.machine.metrics.register_pull(
+            "microscope.recipe", self._recipe_metrics, replace=True)
+
+    def _recipe_metrics(self) -> Dict[str, int]:
+        """Per-recipe replay/release progress for the metrics dump."""
+        values: Dict[str, int] = {}
+        for recipe in self.recipes:
+            values[f"{recipe.name}.replays"] = recipe.replays
+            values[f"{recipe.name}.pivot_faults"] = recipe.pivot_faults
+            values[f"{recipe.name}.released"] = int(recipe.released)
+        return values
 
     # ------------------------------------------------------------------
     # Table 2: the user interface (§5.2.3)
@@ -285,6 +289,13 @@ class MicroScopeModule:
         decision = recipe.decide(event)
         cost = self.config.fault_handler_cost + decision.extra_cost
         cost += self._apply_decision(recipe, fault, decision, is_pivot)
+        tracer = self.machine.tracer
+        if tracer is not None:
+            tracer.complete(
+                f"replay:{recipe.name}", self.machine.cycle, cost,
+                cat="replay", tid=MICROSCOPE_TID,
+                replay_no=recipe.replays, action=decision.action.name,
+                pivot=is_pivot, ctx=context.context_id)
         if decision.action is ReplayAction.HALT:
             return TrapAction(cost=cost, halt=True)
         return TrapAction(cost=cost)
@@ -334,10 +345,8 @@ class MicroScopeModule:
         """Clone module state.  Recipe objects are shared by reference
         (attack closures hold them); their mutable progress state is
         cloned per recipe."""
-        stats = self.stats
         return (
-            (stats.handle_faults, stats.pivot_faults, stats.releases,
-             stats.probes, stats.primes),
+            self.stats.capture(),
             dict(self._armed),
             [(recipe, recipe.capture()) for recipe in self.recipes],
             self._noise.getstate(),
@@ -345,8 +354,7 @@ class MicroScopeModule:
 
     def restore(self, state: tuple):
         stats, armed, recipes, noise = state
-        (self.stats.handle_faults, self.stats.pivot_faults,
-         self.stats.releases, self.stats.probes, self.stats.primes) = stats
+        self.stats.restore(stats)
         self._armed = dict(armed)
         self.recipes = [recipe for recipe, _ in recipes]
         for recipe, recipe_state in recipes:

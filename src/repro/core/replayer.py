@@ -9,8 +9,8 @@ Monitor's measurements.  Concrete attacks in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Optional
 
 from repro.core.module import MicroScopeConfig, MicroScopeModule
 from repro.core.recipes import AttackRecipe

@@ -12,25 +12,13 @@ instruction address.  Two properties matter for MicroScope:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from repro.observability.stats import PredictorStats
+
+__all__ = ["BranchPredictor", "PredictorStats", "STRONG_NOT_TAKEN",
+           "WEAK_NOT_TAKEN", "WEAK_TAKEN", "STRONG_TAKEN"]
 
 #: Two-bit counter states.
 STRONG_NOT_TAKEN, WEAK_NOT_TAKEN, WEAK_TAKEN, STRONG_TAKEN = 0, 1, 2, 3
-
-
-@dataclass
-class PredictorStats:
-    predictions: int = 0
-    mispredictions: int = 0
-
-    def reset(self):
-        self.predictions = self.mispredictions = 0
-
-    @property
-    def accuracy(self) -> float:
-        if not self.predictions:
-            return 1.0
-        return 1.0 - self.mispredictions / self.predictions
 
 
 class BranchPredictor:
@@ -82,10 +70,9 @@ class BranchPredictor:
     # --- snapshot support -------------------------------------------------
 
     def capture(self) -> tuple:
-        return (list(self._table),
-                (self.stats.predictions, self.stats.mispredictions))
+        return (list(self._table), self.stats.capture())
 
     def restore(self, state: tuple):
         table, stats = state
         self._table = list(table)
-        self.stats.predictions, self.stats.mispredictions = stats
+        self.stats.restore(stats)

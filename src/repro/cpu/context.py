@@ -16,6 +16,10 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.isa import registers
 from repro.isa.program import Program
 from repro.cpu.rob import ReorderBuffer, ROBEntry, clone_entry
+from repro.observability.stats import ContextStats
+
+__all__ = ["ContextState", "ContextStats", "HardwareContext",
+           "TransactionState"]
 
 
 class ContextState(enum.Enum):
@@ -23,22 +27,6 @@ class ContextState(enum.Enum):
     RUNNING = "running"
     BLOCKED = "blocked"    # trapped to the kernel; resumes at a cycle
     HALTED = "halted"      # retired a HALT or ran past program end
-
-
-@dataclass
-class ContextStats:
-    fetched: int = 0
-    retired: int = 0
-    squashed: int = 0
-    squash_events: int = 0
-    faults: int = 0
-    replays: int = 0            # re-executions of squashed instructions
-    txn_aborts: int = 0
-    interrupts: int = 0
-
-    def reset(self):
-        for name in self.__dataclass_fields__:
-            setattr(self, name, 0)
 
 
 @dataclass
@@ -246,7 +234,6 @@ class HardwareContext:
         ROB, rename map, ready queue, load index and the event heap.
         ``program`` and ``process`` are shared by reference (programs
         are immutable; process state is captured by the kernel)."""
-        stats = self.stats
         return (
             dict(self.int_regs), dict(self.fp_regs),
             self.rob.capture(memo),
@@ -261,9 +248,7 @@ class HardwareContext:
             self._capture_txn(),
             self.txn_abort_pending, self.last_txn_abort_reason,
             self.pending_interrupt, self.serialize_next_fetch,
-            (stats.fetched, stats.retired, stats.squashed,
-             stats.squash_events, stats.faults, stats.replays,
-             stats.txn_aborts, stats.interrupts),
+            self.stats.capture(),
             self._next_seq,
         )
 
@@ -304,7 +289,5 @@ class HardwareContext:
         self.last_txn_abort_reason = last_txn_abort_reason
         self.pending_interrupt = pending_interrupt
         self.serialize_next_fetch = serialize_next_fetch
-        (self.stats.fetched, self.stats.retired, self.stats.squashed,
-         self.stats.squash_events, self.stats.faults, self.stats.replays,
-         self.stats.txn_aborts, self.stats.interrupts) = stats
+        self.stats.restore(stats)
         self._next_seq = next_seq

@@ -32,13 +32,12 @@ from repro.cpu.config import CoreConfig, op_class
 from repro.cpu.context import ContextState, HardwareContext, TransactionState
 from repro.cpu.ports import PortSet
 from repro.cpu.rob import EntryState, ROBEntry, clone_entry
-from repro.cpu.traps import PanicTrapHandler, TrapAction, TrapHandler
+from repro.cpu.traps import PanicTrapHandler, TrapHandler
 from repro.isa.instructions import Instruction, Opcode
 from repro.mem.cache import line_of
 from repro.mem.hierarchy import MemoryHierarchy
 from repro.mem.physical import PhysicalMemory
 from repro.vm import address as vaddr
-from repro.vm.faults import PageFault
 from repro.vm.tlb import TLBHierarchy
 from repro.vm.walker import PageWalker
 
@@ -519,6 +518,7 @@ class Core:
         if entry.instr.is_load:
             issued = self._execute_load(context, entry)
             if issued:
+                context.stats.issued += 1
                 context.index_inflight_load(entry)
                 for hook in self.issue_hooks:
                     hook(context, entry)
@@ -532,6 +532,7 @@ class Core:
             self._execute_store(context, entry, latency)
         else:
             self._execute_alu(context, entry, latency)
+        context.stats.issued += 1
         for hook in self.issue_hooks:
             hook(context, entry)
         return True

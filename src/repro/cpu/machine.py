@@ -9,14 +9,17 @@ attaches itself as the machine's trap handler.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Iterator, Optional
 
 from repro.cpu.config import CoreConfig
 from repro.cpu.core import Core
 from repro.cpu.traps import TrapHandler
 from repro.mem.hierarchy import HierarchyConfig, MemoryHierarchy
 from repro.mem.physical import PhysicalMemory
+from repro.observability.profiler import RunProfile, note_machine
+from repro.observability.registry import MetricsRegistry
 from repro.vm.pwc import PageWalkCache, PWCConfig
 from repro.vm.tlb import TLBHierarchy, TLBHierarchyConfig
 from repro.vm.walker import PageWalker
@@ -46,6 +49,34 @@ class Machine:
         self.walker = PageWalker(self.phys, self.hierarchy, self.pwc)
         self.core = Core(0, self.config.core, self.phys, self.hierarchy,
                          self.tlbs, self.walker)
+        #: The machine-wide metric index.  Groups are bound by
+        #: reference; subsystems keep plain attribute increments.
+        self.metrics = MetricsRegistry()
+        self._register_metrics()
+        #: Active EventTracer, or None (the zero-cost default).
+        self.tracer = None
+        note_machine(self)
+
+    def _register_metrics(self):
+        metrics = self.metrics
+        for cache in self.hierarchy.levels:
+            metrics.register_group(f"mem.{cache.name.lower()}",
+                                   cache.stats)
+        metrics.register_group("mem.hierarchy", self.hierarchy.stats)
+        metrics.register_group("vm.tlb.l1d", self.tlbs.l1d.stats)
+        metrics.register_group("vm.tlb.l1i", self.tlbs.l1i.stats)
+        metrics.register_group("vm.tlb.l2", self.tlbs.l2.stats)
+        metrics.register_group("vm.pwc", self.pwc.stats)
+        metrics.register_group("vm.walker", self.walker.stats)
+        self.walker.bind_latency_histogram(
+            metrics.histogram("vm.walker.latency_cycles"))
+        metrics.register_group("cpu.predictor", self.core.predictor.stats)
+        for port in self.core.ports.ports:
+            metrics.register_group(f"cpu.port.{port.name.lower()}",
+                                   port.stats)
+        for context in self.core.contexts:
+            metrics.register_group(f"cpu.ctx{context.context_id}",
+                                   context.stats)
 
     @property
     def cycle(self) -> int:
@@ -58,6 +89,32 @@ class Machine:
     def set_trap_handler(self, handler: TrapHandler):
         self.core.trap_handler = handler
 
+    # --- observability ----------------------------------------------------
+
+    def attach_tracer(self, tracer):
+        """Attach an :class:`~repro.observability.tracer.EventTracer`.
+        The core starts emitting pipeline events; the kernel and the
+        MicroScope module pick the tracer up per fault through
+        ``machine.tracer``."""
+        self.tracer = tracer
+        self.core.tracer = tracer
+
+    def detach_tracer(self):
+        """Return to the zero-cost no-tracing configuration."""
+        self.tracer = None
+        self.core.tracer = None
+
+    @contextmanager
+    def profile(self, label: str = "run") -> Iterator[RunProfile]:
+        """Profile a region: ``with machine.profile("attack") as prof``
+        yields a :class:`RunProfile`; on exit it holds cycles, host
+        seconds and cycles/second for the region."""
+        prof = RunProfile(label, self.cycle)
+        try:
+            yield prof
+        finally:
+            prof.finish(self.cycle)
+
     # --- snapshot support -------------------------------------------------
 
     def capture(self) -> tuple:
@@ -65,16 +122,18 @@ class Machine:
         :mod:`repro.snapshot` for the composed, versioned snapshot)."""
         return (self.phys.capture(), self.hierarchy.capture(),
                 self.tlbs.capture(), self.pwc.capture(),
-                self.walker.capture(), self.core.capture())
+                self.walker.capture(), self.core.capture(),
+                self.metrics.capture())
 
     def restore(self, state: tuple):
-        phys, hierarchy, tlbs, pwc, walker, core = state
+        phys, hierarchy, tlbs, pwc, walker, core, metrics = state
         self.phys.restore(phys)
         self.hierarchy.restore(hierarchy)
         self.tlbs.restore(tlbs)
         self.pwc.restore(pwc)
         self.walker.restore(walker)
         self.core.restore(core)
+        self.metrics.restore(metrics)
 
     def step(self, cycles: int = 1):
         """Advance the machine by *cycles* cycles."""

@@ -10,21 +10,12 @@ reliable once MicroScope removes the alignment noise.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.cpu.config import PortConfig
+from repro.observability.stats import PortStats
 
-
-@dataclass
-class PortStats:
-    issued: int = 0
-    #: Cycles some dispatch wanted the port while it was held by a
-    #: non-pipelined operation.
-    contended: int = 0
-
-    def reset(self):
-        self.issued = self.contended = 0
+__all__ = ["Port", "PortSet", "PortStats"]
 
 
 class Port:
@@ -69,11 +60,11 @@ class Port:
 
     def capture(self) -> tuple:
         return (self.busy_until, self._issued_this_cycle,
-                self.stats.issued, self.stats.contended)
+                self.stats.capture())
 
     def restore(self, state: tuple):
-        (self.busy_until, self._issued_this_cycle,
-         self.stats.issued, self.stats.contended) = state
+        (self.busy_until, self._issued_this_cycle, stats) = state
+        self.stats.restore(stats)
 
 
 class PortSet:

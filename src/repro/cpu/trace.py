@@ -14,7 +14,7 @@ instructions appear, execute, and die squashed, replay after replay.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.cpu.rob import ROBEntry

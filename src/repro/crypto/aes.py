@@ -14,7 +14,6 @@ from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 from repro.crypto.aes_tables import (
-    ENTRIES_PER_LINE,
     inv_sbox,
     line_of_entry,
     sbox,

@@ -14,7 +14,7 @@ vectors in the test suite.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import List, Tuple
+from typing import Tuple
 
 from repro.crypto.gf import ginv, gmul
 

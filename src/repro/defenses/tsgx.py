@@ -15,12 +15,10 @@ in many attacks."
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
 
 from repro.core.replayer import AttackEnvironment, Replayer
-from repro.isa.instructions import Instruction, Opcode
+from repro.isa.instructions import Opcode
 from repro.isa.program import Program, ProgramBuilder
-from repro.isa import instructions as ins
 from repro.kernel.process import Process
 from repro.victims.control_flow import setup_control_flow_victim
 

@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.isa import instructions as ins
-from repro.isa.instructions import Instruction, Opcode, INSTRUCTION_SIZE
+from repro.isa.instructions import Instruction, INSTRUCTION_SIZE
 
 
 class ProgramError(Exception):

@@ -20,7 +20,7 @@ running", §6.1).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.cpu.context import HardwareContext
@@ -28,8 +28,12 @@ from repro.cpu.machine import Machine
 from repro.cpu.traps import TrapAction, TrapHandler
 from repro.kernel.frames import FrameAllocator
 from repro.kernel.process import Process, ProcessError
+from repro.observability.stats import KernelStats
+from repro.observability.tracer import KERNEL_TID
 from repro.vm import address as vaddr
 from repro.vm.faults import PageFault
+
+__all__ = ["FaultHook", "Kernel", "KernelConfig", "KernelStats"]
 
 #: A trampoline hook: returns a TrapAction to claim the fault, or None
 #: to pass it on.
@@ -55,20 +59,6 @@ class KernelConfig:
     kill_on_segfault: bool = True
 
 
-@dataclass
-class KernelStats:
-    page_faults: int = 0
-    minor_faults: int = 0
-    demand_pages: int = 0
-    segfaults: int = 0
-    interrupts: int = 0
-    hook_claims: int = 0
-
-    def reset(self):
-        for name in self.__dataclass_fields__:
-            setattr(self, name, 0)
-
-
 class Kernel(TrapHandler):
     """Supervisor software: process management + trap handling."""
 
@@ -85,6 +75,9 @@ class Kernel(TrapHandler):
                                              Optional[TrapAction]]] = []
         self._jitter = random.Random(self.config.jitter_seed)
         machine.set_trap_handler(self)
+        # Rebuilding a kernel on the same machine (tests do this)
+        # rebinds the group rather than erroring.
+        machine.metrics.register_group("kernel", self.stats, replace=True)
 
     # --- process management --------------------------------------------------
 
@@ -147,12 +140,24 @@ class Kernel(TrapHandler):
     def handle_page_fault(self, context: HardwareContext,
                           fault: PageFault) -> TrapAction:
         self.stats.page_faults += 1
+        claimed = False
+        action = None
         for hook in self._fault_hooks:
             action = hook(context, fault)
             if action is not None:
                 self.stats.hook_claims += 1
-                return action
-        return self._default_fault_handling(context, fault)
+                claimed = True
+                break
+        if action is None:
+            action = self._default_fault_handling(context, fault)
+        tracer = self.machine.tracer
+        if tracer is not None:
+            tracer.complete(
+                "page_fault", self.machine.cycle, action.cost,
+                cat="kernel", tid=KERNEL_TID,
+                va=fault.va, level=fault.level, ctx=context.context_id,
+                claimed=claimed)
+        return action
 
     def _default_fault_handling(self, context: HardwareContext,
                                 fault: PageFault) -> TrapAction:
@@ -181,11 +186,20 @@ class Kernel(TrapHandler):
     def handle_interrupt(self, context: HardwareContext,
                          reason: str) -> TrapAction:
         self.stats.interrupts += 1
+        action = None
         for hook in self._interrupt_hooks:
             action = hook(context, reason)
             if action is not None:
-                return action
-        return TrapAction(cost=self._cost(self.config.interrupt_cost))
+                break
+        if action is None:
+            action = TrapAction(cost=self._cost(self.config.interrupt_cost))
+        tracer = self.machine.tracer
+        if tracer is not None:
+            tracer.complete(
+                "interrupt", self.machine.cycle, action.cost,
+                cat="kernel", tid=KERNEL_TID,
+                reason=reason, ctx=context.context_id)
+        return action
 
     # --- snapshot support -------------------------------------------------
 
@@ -194,10 +208,8 @@ class Kernel(TrapHandler):
         reference (the rest of the system holds pointers to them);
         their mutable address-space state is cloned per process.  Hook
         registrations are identity wiring and stay untouched."""
-        stats = self.stats
         return (
-            (stats.page_faults, stats.minor_faults, stats.demand_pages,
-             stats.segfaults, stats.interrupts, stats.hook_claims),
+            self.stats.capture(),
             self._next_pid,
             self._jitter.getstate(),
             self.frames.capture(),
@@ -206,9 +218,7 @@ class Kernel(TrapHandler):
 
     def restore(self, state: tuple):
         stats, next_pid, jitter, frames, processes = state
-        (self.stats.page_faults, self.stats.minor_faults,
-         self.stats.demand_pages, self.stats.segfaults,
-         self.stats.interrupts, self.stats.hook_claims) = stats
+        self.stats.restore(stats)
         self._next_pid = next_pid
         self._jitter.setstate(jitter)
         self.frames.restore(frames)

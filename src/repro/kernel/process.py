@@ -9,7 +9,7 @@ secret tables all live on *different* pages.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.kernel.frames import FrameAllocator

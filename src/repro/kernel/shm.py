@@ -10,7 +10,7 @@ them with ordinary loads.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.kernel.process import Process
 from repro.vm import address as vaddr

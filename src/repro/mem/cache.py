@@ -13,6 +13,10 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.mem.replacement import ReplacementPolicy, make_policy
+from repro.observability.stats import CacheStats
+
+__all__ = ["Cache", "CacheConfig", "CacheStats", "LINE_SIZE",
+           "LINE_SHIFT", "line_of"]
 
 LINE_SIZE = 64
 LINE_SHIFT = 6
@@ -43,17 +47,6 @@ class CacheConfig:
                 f"{self.name}: size {self.size_bytes} not divisible into "
                 f"{self.ways}-way sets of {self.line_size}B lines")
         return sets
-
-
-@dataclass
-class CacheStats:
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
-    invalidations: int = 0
-
-    def reset(self):
-        self.hits = self.misses = self.evictions = self.invalidations = 0
 
 
 class Cache:
@@ -213,8 +206,7 @@ class Cache:
             [self._policy.clone_state(meta) for meta in self._meta],
             dict(self._where),
             self._policy.capture_rng(),
-            (self.stats.hits, self.stats.misses, self.stats.evictions,
-             self.stats.invalidations),
+            self.stats.capture(),
         )
 
     def restore(self, state: tuple):
@@ -227,5 +219,4 @@ class Cache:
         self._meta = [self._policy.clone_state(m) for m in meta]
         self._where = dict(where)
         self._policy.restore_rng(rng)
-        (self.stats.hits, self.stats.misses, self.stats.evictions,
-         self.stats.invalidations) = stats
+        self.stats.restore(stats)

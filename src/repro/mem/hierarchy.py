@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence
 
 from repro.mem.cache import Cache, CacheConfig, line_of
+from repro.observability.stats import HierarchyStats
 
 
 @dataclass
@@ -57,11 +58,16 @@ class MemoryHierarchy:
         if not self.levels:
             raise ValueError("hierarchy needs at least one cache level")
         self.dram_latency = self.config.dram_latency
-        self.dram_accesses = 0
+        self.stats = HierarchyStats()
 
     @property
     def l1(self) -> Cache:
         return self.levels[0]
+
+    @property
+    def dram_accesses(self) -> int:
+        """Legacy accessor; the count now lives in ``stats``."""
+        return self.stats.dram_accesses
 
     def level_named(self, name: str) -> Cache:
         for cache in self.levels:
@@ -82,7 +88,7 @@ class MemoryHierarchy:
                 break
         if hit_level is None:
             latency += self.dram_latency
-            self.dram_accesses += 1
+            self.stats.dram_accesses += 1
             hit_level = len(self.levels)
         # Fill the line into every level above the hit.
         for i in range(min(hit_level, len(self.levels)) - 1, -1, -1):
@@ -157,19 +163,19 @@ class MemoryHierarchy:
     def reset_stats(self):
         for cache in self.levels:
             cache.stats.reset()
-        self.dram_accesses = 0
+        self.stats.reset()
 
     # --- snapshot support -------------------------------------------------
 
     def capture(self) -> tuple:
         """Clone every level's tag state plus DRAM counters."""
         return ([cache.capture() for cache in self.levels],
-                self.dram_accesses)
+                self.stats.capture())
 
     def restore(self, state: tuple):
-        levels, dram_accesses = state
+        levels, stats = state
         if len(levels) != len(self.levels):
             raise ValueError("snapshot level count mismatch")
         for cache, level_state in zip(self.levels, levels):
             cache.restore(level_state)
-        self.dram_accesses = dram_accesses
+        self.stats.restore(stats)

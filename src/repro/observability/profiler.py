@@ -1,0 +1,120 @@
+"""Host-time profiling hooks.
+
+Two complementary tools:
+
+* :class:`PhaseTimer` — named-phase wall-clock attribution
+  (``with timer.phase("probe"): ...``), so a benchmark can report
+  where its *host* time went (setup vs simulation vs analysis).
+* :func:`collect_machines` — a context manager that observes every
+  :class:`~repro.cpu.machine.Machine` constructed inside it.  The
+  benchmark harness uses this to emit a metrics JSON per experiment
+  without threading a machine handle through every helper.  Machines
+  built in *worker processes* (the parallel sweep harness) are not
+  visible to the parent's collector; their counters stay
+  worker-local.
+
+``Machine.profile()`` (see :mod:`repro.cpu.machine`) returns a
+:class:`RunProfile` capturing cycles and host seconds for one region,
+from which cycles-per-host-second falls out directly.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+#: The active machine collector, or None.  Machine.__init__ performs
+#: one module-attribute read + None check — nothing else — so the
+#: hook is effectively free when no collector is installed.
+_collector: Optional[List[Any]] = None
+
+
+def note_machine(machine: Any) -> None:
+    """Called by ``Machine.__init__``; records *machine* when a
+    collector is active."""
+    if _collector is not None:
+        _collector.append(machine)
+
+
+@contextmanager
+def collect_machines() -> Iterator[List[Any]]:
+    """Collect every Machine constructed in this block (re-entrant
+    blocks nest: inner collectors shadow outer ones)."""
+    global _collector
+    previous = _collector
+    machines: List[Any] = []
+    _collector = machines
+    try:
+        yield machines
+    finally:
+        _collector = previous
+
+
+class RunProfile:
+    """Cycles + host time for one profiled region."""
+
+    __slots__ = ("label", "start_cycle", "end_cycle", "host_seconds",
+                 "_t0")
+
+    def __init__(self, label: str, start_cycle: int):
+        self.label = label
+        self.start_cycle = start_cycle
+        self.end_cycle = start_cycle
+        self.host_seconds = 0.0
+        self._t0 = time.perf_counter()
+
+    def finish(self, end_cycle: int) -> None:
+        self.end_cycle = end_cycle
+        self.host_seconds = max(time.perf_counter() - self._t0, 1e-9)
+
+    @property
+    def cycles(self) -> int:
+        return self.end_cycle - self.start_cycle
+
+    @property
+    def cycles_per_host_second(self) -> float:
+        return self.cycles / self.host_seconds
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "cycles": self.cycles,
+            "host_seconds": self.host_seconds,
+            "cycles_per_host_second": self.cycles_per_host_second,
+        }
+
+
+class PhaseTimer:
+    """Accumulates wall-clock time per named phase."""
+
+    __slots__ = ("_phases",)
+
+    def __init__(self) -> None:
+        self._phases: Dict[str, Tuple[int, float]] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            calls, seconds = self._phases.get(name, (0, 0.0))
+            self._phases[name] = (calls + 1, seconds + elapsed)
+
+    def seconds(self, name: str) -> float:
+        return self._phases.get(name, (0, 0.0))[1]
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        return {name: {"calls": calls, "seconds": seconds}
+                for name, (calls, seconds)
+                in sorted(self._phases.items())}
+
+
+__all__ = [
+    "PhaseTimer",
+    "RunProfile",
+    "collect_machines",
+    "note_machine",
+]

@@ -1,0 +1,311 @@
+"""Hierarchical metrics registry: counters, gauges, histograms.
+
+A :class:`MetricsRegistry` is the machine-wide index of everything
+countable.  Two kinds of participants exist:
+
+* **Stat groups** — the per-subsystem
+  :class:`~repro.observability.stats.StatGroup` bundles (cache hits,
+  context retires, …).  Groups are registered *by reference* under a
+  hierarchical prefix (``mem.l1d``, ``cpu.ctx0``); the hot paths keep
+  mutating plain attributes and the registry only reads them at dump
+  time, so registration adds zero simulation cost.
+* **Standalone instruments** — :class:`Counter`, :class:`Gauge` and
+  :class:`Histogram` objects created through the registry for values
+  that have no natural stat-group home (e.g. the page-walk latency
+  distribution).  These are owned by the registry and travel with
+  machine snapshots via :meth:`MetricsRegistry.capture`.
+
+Names are lowercase dotted paths: ``<subsystem>.<unit>.<metric>``,
+e.g. ``mem.l1d.misses``, ``vm.walker.latency_cycles``,
+``cpu.ctx0.replays`` — see ``docs/OBSERVABILITY.md`` for the full
+naming scheme.  :meth:`MetricsRegistry.dump` flattens everything into
+one sorted ``{name: value}`` dict ready for JSON.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.observability.stats import StatGroup
+
+#: Default histogram bucket upper bounds (cycles): powers of two from
+#: a cache hit to well past a DRAM-bound page walk.
+DEFAULT_BOUNDS: Tuple[int, ...] = (4, 8, 16, 32, 64, 128, 256, 512,
+                                   1024, 2048, 4096)
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def capture(self) -> tuple:
+        return (self.value,)
+
+    def restore(self, state: tuple) -> None:
+        (self.value,) = state
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def dump(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value (set, not accumulated)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def set(self, value: Any) -> None:
+        self.value = value
+
+    def capture(self) -> tuple:
+        return (self.value,)
+
+    def restore(self, state: tuple) -> None:
+        (self.value,) = state
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def dump(self) -> Any:
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket histogram with exact count/sum/min/max.
+
+    ``bounds`` are *upper* bucket edges; an observation lands in the
+    first bucket whose bound is >= the value, or in the overflow
+    bucket past the last bound.  Buckets therefore never change shape
+    at runtime, which keeps :meth:`capture` bit-exact and merges
+    well-defined.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total",
+                 "min", "max")
+
+    def __init__(self, name: str,
+                 bounds: Sequence[int] = DEFAULT_BOUNDS):
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"{name}: bounds must be strictly increasing")
+        self.name = name
+        self.bounds: Tuple[int, ...] = tuple(bounds)
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+
+    def observe(self, value: int) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def bucket_for(self, value: int) -> int:
+        """Index of the bucket *value* falls into (tests/analysis)."""
+        return bisect_left(self.bounds, value)
+
+    def capture(self) -> tuple:
+        return (list(self.counts), self.count, self.total,
+                self.min, self.max)
+
+    def restore(self, state: tuple) -> None:
+        counts, count, total, lo, hi = state
+        if len(counts) != len(self.counts):
+            raise ValueError(f"{self.name}: bucket count mismatch")
+        self.counts = list(counts)
+        self.count = count
+        self.total = total
+        self.min = lo
+        self.max = hi
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0
+        self.min = None
+        self.max = None
+
+    def dump(self) -> Dict[str, Any]:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """The machine-wide metric index."""
+
+    __slots__ = ("_groups", "_instruments", "_pulls")
+
+    def __init__(self) -> None:
+        #: prefix -> StatGroup, insertion-ordered.
+        self._groups: Dict[str, StatGroup] = {}
+        #: name -> Counter | Gauge | Histogram.
+        self._instruments: Dict[str, Any] = {}
+        #: prefix -> zero-arg callable returning {suffix: value}; read
+        #: at dump time only (identity wiring, excluded from capture).
+        self._pulls: Dict[str, Callable[[], Dict[str, Any]]] = {}
+
+    # --- registration -----------------------------------------------------
+
+    def register_group(self, prefix: str, group: StatGroup,
+                       replace: bool = False) -> StatGroup:
+        """Bind *group* under *prefix*; its fields appear in dumps as
+        ``prefix.field``.  Re-registering a prefix requires
+        ``replace=True`` (used by stacks that rebuild a layer, e.g. a
+        fresh kernel on an existing machine)."""
+        if prefix in self._groups and not replace \
+                and self._groups[prefix] is not group:
+            raise ValueError(f"group prefix {prefix!r} already registered")
+        self._groups[prefix] = group
+        return group
+
+    def register_pull(self, prefix: str,
+                      fn: Callable[[], Dict[str, Any]],
+                      replace: bool = False) -> None:
+        """Register a dump-time callback contributing ``prefix.*``
+        entries (e.g. per-recipe replay counts that only exist once
+        recipes are created)."""
+        if prefix in self._pulls and not replace:
+            raise ValueError(f"pull prefix {prefix!r} already registered")
+        self._pulls[prefix] = fn
+
+    def _instrument(self, name: str, factory: Callable[[], Any],
+                    kind: type) -> Any:
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, kind):
+                raise ValueError(
+                    f"{name!r} already registered as "
+                    f"{type(existing).__name__}")
+            return existing
+        instrument = factory()
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._instrument(name, lambda: Counter(name), Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._instrument(name, lambda: Gauge(name), Gauge)
+
+    def histogram(self, name: str,
+                  bounds: Sequence[int] = DEFAULT_BOUNDS) -> Histogram:
+        return self._instrument(name, lambda: Histogram(name, bounds),
+                                Histogram)
+
+    # --- export -----------------------------------------------------------
+
+    def dump(self) -> Dict[str, Any]:
+        """Flatten every registered metric into a sorted dict."""
+        out: Dict[str, Any] = {}
+        for prefix, group in self._groups.items():
+            for field, value in group.as_dict().items():
+                out[f"{prefix}.{field}"] = value
+        for name, instrument in self._instruments.items():
+            out[name] = instrument.dump()
+        for prefix, fn in self._pulls.items():
+            for suffix, value in fn().items():
+                out[f"{prefix}.{suffix}"] = value
+        return dict(sorted(out.items()))
+
+    def reset(self) -> None:
+        """Zero every group and instrument (pulls are live views)."""
+        for group in self._groups.values():
+            group.reset()
+        for instrument in self._instruments.values():
+            instrument.reset()
+
+    # --- snapshot support -------------------------------------------------
+    #
+    # Stat groups are owned (and captured) by their subsystems; the
+    # registry snapshots only its standalone instruments.  Instrument
+    # *identity* is wiring: a snapshot restores values into the
+    # already-registered instruments and refuses unknown names.
+
+    def capture(self) -> tuple:
+        return tuple((name, instrument.capture())
+                     for name, instrument in self._instruments.items())
+
+    def restore(self, state: tuple) -> None:
+        for name, inst_state in state:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                raise ValueError(
+                    f"snapshot carries unknown instrument {name!r}")
+            instrument.restore(inst_state)
+
+
+def merge_dumps(dumps: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Sum-merge several :meth:`MetricsRegistry.dump` payloads (used
+    when one experiment ran several machines in-process).  Integer and
+    float metrics add; histogram dicts merge bucket-wise (shapes must
+    match); other values keep the last occurrence."""
+    merged: Dict[str, Any] = {}
+    for dump in dumps:
+        for name, value in dump.items():
+            if name not in merged:
+                merged[name] = (dict(value) if isinstance(value, dict)
+                                else value)
+                continue
+            current = merged[name]
+            if isinstance(value, dict) and isinstance(current, dict):
+                if current.get("bounds") != value.get("bounds"):
+                    raise ValueError(
+                        f"{name}: histogram bounds differ across dumps")
+                current["counts"] = [a + b for a, b in
+                                     zip(current["counts"],
+                                         value["counts"])]
+                current["count"] += value["count"]
+                current["sum"] += value["sum"]
+                mins = [m for m in (current["min"], value["min"])
+                        if m is not None]
+                maxes = [m for m in (current["max"], value["max"])
+                         if m is not None]
+                current["min"] = min(mins) if mins else None
+                current["max"] = max(maxes) if maxes else None
+            elif isinstance(value, bool) or isinstance(current, bool):
+                merged[name] = value
+            elif isinstance(value, (int, float)) \
+                    and isinstance(current, (int, float)):
+                merged[name] = current + value
+            else:
+                merged[name] = value
+    return dict(sorted(merged.items()))
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BOUNDS",
+    "merge_dumps",
+]

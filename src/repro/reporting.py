@@ -11,8 +11,9 @@ victim context while the monitor hums along.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
 
 from repro.cpu.machine import Machine
 
@@ -143,3 +144,24 @@ def machine_report(machine: Machine, kernel=None,
     if module is not None:
         report.microscope_replays = module.stats.handle_faults
     return report
+
+
+def metrics_payload(env_or_machine) -> Dict[str, Any]:
+    """Flatten the machine's metrics registry into a JSON-ready dict.
+
+    Accepts a bare :class:`Machine` or anything with a ``machine``
+    attribute (e.g. an ``AttackEnvironment``).  The payload carries the
+    cycle count alongside the registry dump so offline tooling can
+    compute rates.
+    """
+    machine = getattr(env_or_machine, "machine", env_or_machine)
+    return {"cycle": machine.cycle, "metrics": machine.metrics.dump()}
+
+
+def export_metrics_json(env_or_machine, path) -> Dict[str, Any]:
+    """Write :func:`metrics_payload` to *path*; returns the payload."""
+    payload = metrics_payload(env_or_machine)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return payload

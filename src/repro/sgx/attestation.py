@@ -13,8 +13,8 @@ because the enclave never observes its own re-execution.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Dict
 
 from repro.isa.program import Program
 

@@ -15,7 +15,7 @@ The model captures exactly the properties MicroScope needs (§2.3):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.cpu.context import HardwareContext

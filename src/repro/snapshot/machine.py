@@ -28,7 +28,9 @@ from __future__ import annotations
 from typing import Optional
 
 #: Bump when the layout of any subsystem's capture() payload changes.
-SNAPSHOT_VERSION = 1
+#: v2: machine payloads gained the metrics-registry instrument state
+#: (walker latency histogram etc.) as a trailing element.
+SNAPSHOT_VERSION = 2
 
 
 class SnapshotError(Exception):

@@ -23,8 +23,8 @@ Register map::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 from repro.crypto.aes import expand_decrypt_key, rounds_for_key
 from repro.crypto.aes_tables import inv_sbox, td_tables

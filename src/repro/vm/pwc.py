@@ -19,21 +19,15 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.vm import address as addr
+from repro.observability.stats import PWCStats
+
+__all__ = ["PageWalkCache", "PWCConfig", "PWCStats"]
 
 
 @dataclass
 class PWCConfig:
     entries: int = 32
     hit_latency: int = 1
-
-
-@dataclass
-class PWCStats:
-    hits: int = 0
-    misses: int = 0
-
-    def reset(self):
-        self.hits = self.misses = 0
 
 
 class PageWalkCache:
@@ -89,10 +83,9 @@ class PageWalkCache:
     # --- snapshot support -------------------------------------------------
 
     def capture(self) -> tuple:
-        return (OrderedDict(self._entries),
-                (self.stats.hits, self.stats.misses))
+        return (OrderedDict(self._entries), self.stats.capture())
 
     def restore(self, state: tuple):
         entries, stats = state
         self._entries = OrderedDict(entries)
-        self.stats.hits, self.stats.misses = stats
+        self.stats.restore(stats)

@@ -10,7 +10,12 @@ maintenance operations the OS needs (INVLPG, full flush, PCID flush).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
+
+from repro.observability.stats import TLBStats
+
+__all__ = ["TLB", "TLBConfig", "TLBEntry", "TLBHierarchy",
+           "TLBHierarchyConfig", "TLBStats"]
 
 
 @dataclass
@@ -45,17 +50,6 @@ class TLBEntry:
     def __repr__(self) -> str:
         return (f"TLBEntry(vpn={self.vpn:#x}, pcid={self.pcid}, "
                 f"frame={self.frame:#x}, flags={self.flags:#x})")
-
-
-@dataclass
-class TLBStats:
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
-    invalidations: int = 0
-
-    def reset(self):
-        self.hits = self.misses = self.evictions = self.invalidations = 0
 
 
 class TLB:
@@ -134,8 +128,7 @@ class TLB:
         return (
             [[TLBEntry(e.vpn, e.pcid, e.frame, e.flags) for e in entries]
              for entries in self._sets],
-            (self.stats.hits, self.stats.misses, self.stats.evictions,
-             self.stats.invalidations),
+            self.stats.capture(),
         )
 
     def restore(self, state: tuple):
@@ -143,8 +136,7 @@ class TLB:
         self._sets = [
             [TLBEntry(e.vpn, e.pcid, e.frame, e.flags) for e in entries]
             for entries in sets]
-        (self.stats.hits, self.stats.misses, self.stats.evictions,
-         self.stats.invalidations) = stats
+        self.stats.restore(stats)
 
 
 @dataclass

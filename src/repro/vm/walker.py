@@ -30,6 +30,9 @@ from repro.vm.pagetable import (
     entry_present,
 )
 from repro.vm.pwc import PageWalkCache
+from repro.observability.stats import WalkerStats
+
+__all__ = ["PageWalker", "WalkResult", "WalkerStats"]
 
 
 @dataclass(frozen=True)
@@ -49,16 +52,6 @@ class WalkResult:
         return self.fault is not None
 
 
-@dataclass
-class WalkerStats:
-    walks: int = 0
-    faults: int = 0
-    total_latency: int = 0
-
-    def reset(self):
-        self.walks = self.faults = self.total_latency = 0
-
-
 class PageWalker:
     """Walks page tables through the memory hierarchy."""
 
@@ -73,6 +66,11 @@ class PageWalker:
         # silently replace a provided instance.
         self.pwc = pwc if pwc is not None else PageWalkCache()
         self.stats = WalkerStats()
+        #: Optional latency histogram (a registry Histogram); bound by
+        #: the machine so per-walk latency distributions land in the
+        #: metrics dump.  Not part of walker snapshots — the registry
+        #: captures its own instruments.
+        self._latency_hist = None
         #: §7.2 race window: supervisor software on another core can
         #: rewrite the leaf PTE while the walk is in flight ("set/clear
         #: the present bit before the hardware page walker reaches
@@ -84,14 +82,16 @@ class PageWalker:
 
     # --- snapshot support -------------------------------------------------
 
+    def bind_latency_histogram(self, histogram):
+        """Record each walk's latency into *histogram* (observability)."""
+        self._latency_hist = histogram
+
     def capture(self) -> tuple:
         """Only the counters are mutable state; hooks are identity."""
-        return (self.stats.walks, self.stats.faults,
-                self.stats.total_latency)
+        return self.stats.capture()
 
     def restore(self, state: tuple):
-        (self.stats.walks, self.stats.faults,
-         self.stats.total_latency) = state
+        self.stats.restore(state)
 
     def walk(self, pcid: int, root_frame: int, va: int,
              is_write: bool = False, is_instruction: bool = False,
@@ -147,6 +147,8 @@ class PageWalker:
         if fault is not None:
             self.stats.faults += 1
         self.stats.total_latency += latency
+        if self._latency_hist is not None:
+            self._latency_hist.observe(latency)
         return WalkResult(va=va, latency=latency, frame=frame, flags=flags,
                           fault=fault, steps=tuple(steps), pwc_hits=pwc_hits)
 

@@ -1,7 +1,6 @@
 """The Table-1 baseline attacks: each shows its characteristic
 granularity/resolution/noise profile."""
 
-import pytest
 
 from repro.baselines.controlled_channel import ControlledChannelAttack
 from repro.baselines.prime_probe import AsyncPrimeProbeAttack

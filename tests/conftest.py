@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.replayer import AttackEnvironment, Replayer
-from repro.cpu.machine import Machine, MachineConfig
+from repro.cpu.machine import Machine
 from repro.kernel.kernel import Kernel
 
 

@@ -106,7 +106,6 @@ def test_handles_in_real_aes_victim(kernel):
 
 def test_handles_in_modexp_victim(kernel):
     from repro.victims.rsa import setup_modexp_victim
-    from repro.isa.instructions import Opcode
     process = kernel.create_process("rsa")
     victim = setup_modexp_victim(process, 7, 13, 101)
     program = victim.program

@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.attacks.aes_key_recovery import (
     AESKeyRecoveryAttack,
-    attribute_round1,
     nibble_candidates,
 )
 from repro.crypto.aes import encrypt_block, expand_decrypt_key

@@ -10,7 +10,6 @@ from repro.core.recipes import (
     replay_n_times,
 )
 from repro.isa.program import ProgramBuilder
-from repro.vm import address as vaddr
 
 
 @pytest.fixture

@@ -1,6 +1,5 @@
 """Multi-recipe and cross-process behaviour of the MicroScope module."""
 
-import pytest
 
 from repro.core.recipes import replay_n_times
 from repro.isa.program import ProgramBuilder
@@ -109,7 +108,6 @@ def test_rearming_after_release(replayer):
 
 def test_store_as_replay_handle(replayer):
     """§4.1.1 allows any memory access as a handle — including stores."""
-    from repro.isa.instructions import Opcode
     rep = replayer
     process = rep.create_victim_process("v", enclave=False)
     data = process.alloc(4096, "store-page")

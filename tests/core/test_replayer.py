@@ -1,4 +1,4 @@
-from repro.core.replayer import AttackEnvironment, Replayer
+from repro.core.replayer import AttackEnvironment
 from repro.isa.program import ProgramBuilder
 
 

@@ -1,7 +1,6 @@
 """Precise page-fault semantics — the mechanism MicroScope turns into
 a replay engine."""
 
-import pytest
 
 from repro.cpu.context import ContextState
 from repro.cpu.machine import Machine

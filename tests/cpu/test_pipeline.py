@@ -1,7 +1,6 @@
 """Pipeline-level behaviour: dependencies, speculation, forwarding,
 memory ordering, fences and recovery."""
 
-import pytest
 
 from repro.cpu.machine import Machine
 from repro.isa.program import ProgramBuilder

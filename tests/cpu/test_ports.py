@@ -1,4 +1,4 @@
-from repro.cpu.config import PortConfig, default_ports
+from repro.cpu.config import default_ports
 from repro.cpu.ports import PortSet
 
 

@@ -1,8 +1,6 @@
 """TSX transaction semantics: commit, rollback, abort triggers."""
 
-from repro.cpu.machine import Machine
 from repro.isa.program import ProgramBuilder
-from repro.kernel.kernel import Kernel
 from tests.conftest import run_program
 
 

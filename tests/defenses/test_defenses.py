@@ -1,6 +1,5 @@
 """Section 8 countermeasures behave as the paper describes."""
 
-import pytest
 
 from repro.defenses.dejavu import evaluate_dejavu
 from repro.defenses.fences import evaluate_fence_on_flush

@@ -7,10 +7,9 @@ from repro.core.attacks.aes_cache import AESCacheAttack
 from repro.core.attacks.port_contention import PortContentionAttack
 from repro.core.recipes import ReplayAction, ReplayDecision, WalkLocation, WalkTuning
 from repro.core.replayer import AttackEnvironment, Replayer
-from repro.crypto.aes import decrypt_block, encrypt_block
+from repro.crypto.aes import encrypt_block
 from repro.isa.assembler import assemble
 from repro.sgx.attestation import RunOnceGuard
-from repro.victims.aes_round import setup_aes_victim
 from repro.victims.control_flow import setup_control_flow_victim
 
 

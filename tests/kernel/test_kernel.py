@@ -1,4 +1,3 @@
-import pytest
 
 from repro.cpu.context import ContextState
 from repro.cpu.traps import TrapAction

@@ -2,7 +2,6 @@ import pytest
 
 from repro.kernel.process import ProcessError
 from repro.vm import address as vaddr
-from repro.vm.pagetable import PTE_PRESENT, PTE_USER, PTE_WRITABLE
 
 
 def test_alloc_page_aligned_and_disjoint(kernel):

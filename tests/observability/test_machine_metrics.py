@@ -1,0 +1,125 @@
+"""Machine-level observability wiring: the registry every subsystem
+registers into, ``Machine.profile()``, the machine collector used by
+the benchmark harness, and bit-exact snapshot travel of registry
+state (including the walker latency histogram)."""
+
+from repro.cpu.machine import Machine
+from repro.isa.program import ProgramBuilder
+from repro.observability import collect_machines
+from repro.reporting import export_metrics_json, metrics_payload
+
+DATA_BASE = 0x0010_0000
+
+
+def _memory_program(iterations=20):
+    """Loads and stores force TLB fills and page walks, so the walker
+    latency histogram sees real observations."""
+    return (ProgramBuilder("mem")
+            .li("r1", DATA_BASE).li("r2", 0).li("r3", iterations)
+            .label("loop")
+            .store("r1", "r2")
+            .load("r4", "r1")
+            .addi("r1", "r1", 4096)     # new page every iteration
+            .addi("r2", "r2", 1)
+            .bne("r2", "r3", "loop")
+            .halt().build())
+
+
+def _run_machine(program):
+    machine = Machine()
+    machine.contexts[0].load_program(program)
+    machine.run(200_000)
+    return machine
+
+
+def test_registry_covers_every_subsystem():
+    dump = Machine().metrics.dump()
+    for required in ("mem.hierarchy.dram_accesses", "vm.pwc.hits",
+                     "vm.tlb.l1d.misses", "vm.walker.walks",
+                     "vm.walker.latency_cycles", "cpu.predictor.predictions",
+                     "cpu.ctx0.retired", "cpu.port.p0.issued"):
+        assert required in dump, required
+
+
+def test_walker_latency_histogram_observes_walks():
+    """Bare-metal machines identity-map (no walks); a kernel-backed
+    victim run drives the hardware walker, and every walk lands in
+    the registry's latency histogram."""
+    from repro.core.replayer import AttackEnvironment, Replayer
+    from repro.victims.control_flow import setup_control_flow_victim
+
+    rep = Replayer(AttackEnvironment.build())
+    proc = rep.create_victim_process("victim")
+    victim = setup_control_flow_victim(proc, secret=1)
+    rep.launch_victim(proc, victim.program)
+    rep.run_until_victim_done(context_id=0)
+
+    machine = rep.machine
+    hist = machine.metrics.histogram("vm.walker.latency_cycles")
+    assert hist.count == machine.walker.stats.walks > 0
+    assert hist.total == machine.walker.stats.total_latency
+    dump = machine.metrics.dump()["vm.walker.latency_cycles"]
+    assert dump["count"] == hist.count
+
+
+def test_machine_snapshot_round_trips_registry_state():
+    """Capture mid-run, diverge, restore: the metrics dump (stat
+    groups riding in their owners, instruments riding in the
+    registry) must be bit-identical to the capture point."""
+    machine = Machine()
+    machine.contexts[0].load_program(_memory_program(500))
+    machine.run(1_000)                         # mid-run capture point
+    state = machine.capture()
+    at_capture = machine.metrics.dump()
+
+    machine.run(200_000)                       # diverge
+    assert machine.metrics.dump() != at_capture
+
+    machine.restore(state)
+    assert machine.metrics.dump() == at_capture
+
+    # And the restored machine keeps counting from where it was.
+    machine.run(200_000)
+    assert machine.metrics.dump()["cpu.ctx0.retired"] \
+        > at_capture["cpu.ctx0.retired"]
+
+
+def test_profile_context_manager_attributes_cycles_and_host_time():
+    machine = Machine()
+    machine.contexts[0].load_program(_memory_program(5))
+    with machine.profile("attack") as prof:
+        machine.run(200_000)
+    assert prof.label == "attack"
+    assert prof.cycles == machine.cycle > 0
+    assert prof.host_seconds > 0
+    assert prof.cycles_per_host_second > 0
+    payload = prof.as_dict()
+    assert payload["cycles"] == prof.cycles
+
+
+def test_collect_machines_sees_construction():
+    with collect_machines() as outer:
+        Machine()
+        with collect_machines() as inner:   # nested blocks shadow
+            Machine()
+            Machine()
+        assert len(inner) == 2
+        Machine()
+    assert len(outer) == 2
+    # Outside any block, construction is not recorded anywhere.
+    machine = Machine()
+    assert machine not in outer
+
+
+def test_metrics_payload_and_json_export(tmp_path):
+    import json
+
+    machine = _run_machine(_memory_program(5))
+    payload = metrics_payload(machine)
+    assert payload["cycle"] == machine.cycle
+    assert payload["metrics"]["cpu.ctx0.retired"] > 0
+
+    path = tmp_path / "metrics.json"
+    export_metrics_json(machine, path)
+    on_disk = json.loads(path.read_text())
+    assert on_disk == payload

@@ -1,0 +1,194 @@
+"""Metrics registry unit tests: instrument semantics, histogram
+bucketing, dump flattening, merge, and (via Hypothesis) bit-exact
+capture/restore of standalone instruments."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.observability import (
+    DEFAULT_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_dumps,
+)
+from repro.observability.stats import CacheStats
+
+
+# --- counters and gauges ---------------------------------------------------
+
+def test_counter_accumulates_and_resets():
+    c = Counter("c")
+    c.inc()
+    c.inc(41)
+    assert c.dump() == 42
+    c.reset()
+    assert c.dump() == 0
+
+
+def test_gauge_holds_last_value():
+    g = Gauge("g")
+    g.set(7)
+    g.set(3)
+    assert g.dump() == 3
+
+
+# --- histogram bucketing ---------------------------------------------------
+
+def test_histogram_bucket_edges_are_inclusive_upper_bounds():
+    h = Histogram("h", bounds=(4, 8, 16))
+    # A bound is the *last* value of its bucket.
+    assert h.bucket_for(1) == 0
+    assert h.bucket_for(4) == 0
+    assert h.bucket_for(5) == 1
+    assert h.bucket_for(8) == 1
+    assert h.bucket_for(16) == 2
+    assert h.bucket_for(17) == 3      # overflow bucket
+
+
+def test_histogram_observe_fills_expected_buckets():
+    h = Histogram("h", bounds=(4, 8, 16))
+    for value in (1, 4, 5, 100, 100):
+        h.observe(value)
+    assert h.counts == [2, 1, 0, 2]
+    assert h.count == 5
+    assert h.total == 210
+    assert h.min == 1
+    assert h.max == 100
+    assert h.mean == pytest.approx(42.0)
+
+
+def test_histogram_default_bounds_cover_cache_to_dram():
+    h = Histogram("lat")
+    assert h.bounds == DEFAULT_BOUNDS
+    assert len(h.counts) == len(DEFAULT_BOUNDS) + 1
+
+
+def test_histogram_rejects_unsorted_bounds():
+    with pytest.raises(ValueError):
+        Histogram("bad", bounds=(8, 4))
+    with pytest.raises(ValueError):
+        Histogram("bad", bounds=(4, 4, 8))
+
+
+def test_histogram_dump_shape():
+    h = Histogram("h", bounds=(2, 4))
+    h.observe(3)
+    assert h.dump() == {"bounds": [2, 4], "counts": [0, 1, 0],
+                        "count": 1, "sum": 3, "min": 3, "max": 3}
+
+
+# --- registry --------------------------------------------------------------
+
+def test_instruments_are_memoised_by_name():
+    reg = MetricsRegistry()
+    assert reg.counter("a.b") is reg.counter("a.b")
+    with pytest.raises(ValueError):
+        reg.gauge("a.b")            # same name, different kind
+
+
+def test_register_group_prefix_collision():
+    reg = MetricsRegistry()
+    group = CacheStats()
+    reg.register_group("mem.l1d", group)
+    # Idempotent for the same object, error for a different one.
+    reg.register_group("mem.l1d", group)
+    with pytest.raises(ValueError):
+        reg.register_group("mem.l1d", CacheStats())
+    replacement = CacheStats()
+    assert reg.register_group("mem.l1d", replacement,
+                              replace=True) is replacement
+
+
+def test_dump_flattens_groups_instruments_and_pulls():
+    reg = MetricsRegistry()
+    group = reg.register_group("mem.l1d", CacheStats())
+    group.hits += 3
+    reg.counter("events.total").inc(5)
+    reg.register_pull("recipe", lambda: {"replays": 9})
+    dump = reg.dump()
+    assert dump["mem.l1d.hits"] == 3
+    assert dump["mem.l1d.misses"] == 0
+    assert dump["events.total"] == 5
+    assert dump["recipe.replays"] == 9
+    assert list(dump) == sorted(dump)     # deterministic ordering
+
+
+def test_reset_zeroes_groups_and_instruments():
+    reg = MetricsRegistry()
+    group = reg.register_group("g", CacheStats())
+    group.misses += 2
+    reg.counter("c").inc(4)
+    reg.reset()
+    assert reg.dump() == {"c": 0, "g.evictions": 0, "g.hits": 0,
+                          "g.invalidations": 0, "g.misses": 0}
+
+
+def test_restore_rejects_unknown_instrument():
+    reg = MetricsRegistry()
+    reg.counter("known").inc()
+    state = reg.capture()
+    fresh = MetricsRegistry()
+    with pytest.raises(ValueError):
+        fresh.restore(state)
+
+
+# --- merge (per-experiment artifacts with several machines) ---------------
+
+def test_merge_dumps_sums_numbers_and_histograms():
+    h1 = Histogram("h", bounds=(4, 8))
+    h1.observe(3)
+    h2 = Histogram("h", bounds=(4, 8))
+    h2.observe(100)
+    merged = merge_dumps([
+        {"a": 1, "h": h1.dump(), "label": "x"},
+        {"a": 2, "h": h2.dump(), "label": "y"},
+    ])
+    assert merged["a"] == 3
+    assert merged["label"] == "y"
+    assert merged["h"]["counts"] == [1, 0, 1]
+    assert merged["h"]["count"] == 2
+    assert merged["h"]["min"] == 3
+    assert merged["h"]["max"] == 100
+
+
+def test_merge_dumps_rejects_mismatched_histograms():
+    a = Histogram("h", bounds=(4,)).dump()
+    b = Histogram("h", bounds=(8,)).dump()
+    with pytest.raises(ValueError):
+        merge_dumps([{"h": a}, {"h": b}])
+
+
+# --- Hypothesis: snapshot round-trip ---------------------------------------
+
+@given(observations=st.lists(st.integers(0, 10_000), max_size=50),
+       counter_incs=st.lists(st.integers(1, 1000), max_size=20),
+       gauge_value=st.integers(-100, 100),
+       disturb=st.lists(st.integers(0, 10_000), min_size=1, max_size=20))
+def test_registry_capture_restore_round_trip(observations, counter_incs,
+                                             gauge_value, disturb):
+    """A registry restored from a snapshot dumps exactly what it
+    dumped when captured, regardless of what happened in between —
+    the contract machine snapshots rely on."""
+    reg = MetricsRegistry()
+    hist = reg.histogram("lat")
+    ctr = reg.counter("ops")
+    reg.gauge("depth").set(gauge_value)
+    for value in observations:
+        hist.observe(value)
+    for amount in counter_incs:
+        ctr.inc(amount)
+
+    state = reg.capture()
+    at_capture = reg.dump()
+
+    for value in disturb:            # diverge...
+        hist.observe(value)
+        ctr.inc(value + 1)
+    reg.gauge("depth").set(gauge_value - 1)
+    assert reg.dump() != at_capture
+
+    reg.restore(state)               # ...and come back bit-exactly
+    assert reg.dump() == at_capture

@@ -1,0 +1,119 @@
+"""Acceptance: a traced AES key-recovery run exports a loadable
+Chrome trace and a metrics JSON carrying per-level cache miss counts
+and replay counts — the ISSUE's end-to-end observability check.
+
+The run is the Figure 11 window (one rk handle site, three replays):
+small enough for CI, and it exercises every emitter — pipeline
+slices from the core, page-fault slices from the kernel, replay
+slices from the MicroScope module."""
+
+import json
+
+import pytest
+
+from repro.observability import KERNEL_TID, MICROSCOPE_TID, EventTracer
+from repro.reporting import export_metrics_json
+
+KEY = bytes(range(16))
+CIPHERTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+
+
+@pytest.fixture(scope="module")
+def traced_run(tmp_path_factory):
+    from repro.core.attacks.aes_cache import AESCacheAttack
+
+    attack = AESCacheAttack(KEY, CIPHERTEXT)
+    rep, victim, stepper = attack._setup(prime_before_first=False)
+    stepper.stop_after_rk_sites = 1
+    tracer = EventTracer(capacity=1 << 15)
+    rep.machine.attach_tracer(tracer)
+    rep.machine.run(50_000_000, until=lambda _m: stepper.done)
+    rep.machine.detach_tracer()
+
+    out = tmp_path_factory.mktemp("trace-export")
+    trace_path = out / "aes_fig11.trace.json"
+    metrics_path = out / "aes_fig11.metrics.json"
+    tracer.export_chrome_trace(trace_path)
+    export_metrics_json(rep.machine, metrics_path)
+    return rep, stepper, tracer, trace_path, metrics_path
+
+
+def test_run_recovered_the_window(traced_run):
+    """Sanity: the traced run still performs the attack (tracing is
+    observational — it must not break key recovery)."""
+    rep, stepper, *_ = traced_run
+    assert stepper.done
+    assert any(p.replay >= 1 for p in stepper.probes)
+
+
+def test_metrics_json_carries_cache_misses_and_replays(traced_run):
+    rep, stepper, _tracer, _trace, metrics_path = traced_run
+    payload = json.loads(metrics_path.read_text())
+    assert payload["cycle"] == rep.machine.cycle
+    metrics = payload["metrics"]
+
+    # Per-level cache miss counts, one entry per level of the wired
+    # hierarchy (L1D/L2/L3 by default).
+    levels = [c.name.lower() for c in rep.machine.hierarchy.levels]
+    assert len(levels) >= 3
+    for name in levels:
+        assert metrics[f"mem.{name}.misses"] > 0, name
+    assert metrics["mem.hierarchy.dram_accesses"] > 0
+
+    # Replay counts: the victim context replayed, the module fired on
+    # handle faults, and the per-recipe pull shows up.
+    assert metrics["cpu.ctx0.replays"] >= 3
+    assert metrics["microscope.handle_faults"] >= 3
+    replay_keys = [k for k in metrics
+                   if k.startswith("microscope.recipe.")
+                   and k.endswith(".replays")]
+    assert replay_keys
+    assert sum(metrics[k] for k in replay_keys) >= 3
+
+    # Kernel accounting and walker distribution ride along.
+    assert metrics["kernel.page_faults"] > 0
+    assert metrics["vm.walker.latency_cycles"]["count"] \
+        == metrics["vm.walker.walks"] > 0
+
+
+def test_chrome_trace_loads_and_shows_all_tracks(traced_run):
+    *_, tracer, trace_path, _metrics = traced_run
+    payload = json.loads(trace_path.read_text())
+    events = payload["traceEvents"]
+    data = [e for e in events if e["ph"] != "M"]
+    assert data
+    assert tracer.total_emitted > 0
+
+    by_tid_cat = {(e["tid"], e["cat"]) for e in data}
+    # Pipeline slices on the victim's context track, kernel fault
+    # slices, and replay slices on the MicroScope track.
+    assert (0, "pipeline") in by_tid_cat
+    assert (KERNEL_TID, "kernel") in by_tid_cat
+    assert (MICROSCOPE_TID, "replay") in by_tid_cat
+
+    replays = [e for e in data
+               if e["tid"] == MICROSCOPE_TID and e["cat"] == "replay"]
+    assert len(replays) >= 3
+    for event in replays:
+        assert event["ph"] == "X" and event["dur"] >= 1
+        assert "replay_no" in event["args"]
+
+    faults = [e for e in data if e["tid"] == KERNEL_TID]
+    assert any(e["name"] == "page_fault" for e in faults)
+
+    # Track names resolve in the viewer.
+    thread_names = {e["tid"]: e["args"]["name"] for e in events
+                    if e["ph"] == "M" and e["name"] == "thread_name"}
+    assert thread_names[KERNEL_TID] == "kernel"
+    assert thread_names[MICROSCOPE_TID] == "microscope"
+
+
+def test_squash_storm_is_visible(traced_run):
+    """MicroScope's signature: replays appear as squashed instruction
+    slices on the victim track between replay windows."""
+    *_, tracer, trace_path, _metrics = traced_run
+    payload = json.loads(trace_path.read_text())
+    squashes = [e for e in payload["traceEvents"]
+                if e["ph"] == "X" and e["cat"] == "squash"]
+    assert squashes
+    assert any(e["args"].get("reason") for e in squashes)

@@ -3,7 +3,7 @@ the right thing when run unmolested."""
 
 import pytest
 
-from repro.crypto.aes import decrypt_block, encrypt_block
+from repro.crypto.aes import encrypt_block
 from repro.victims import (
     PIVOT,
     REPLAY_HANDLE,

@@ -4,7 +4,6 @@ from hypothesis import strategies as st
 
 from repro.kernel.frames import FrameAllocator
 from repro.mem.physical import PhysicalMemory
-from repro.vm import address as vaddr
 from repro.vm.pagetable import (
     PTE_PRESENT,
     PTE_USER,

@@ -1,6 +1,6 @@
 import pytest
 
-from repro.vm.tlb import TLB, TLBConfig, TLBHierarchy, TLBHierarchyConfig
+from repro.vm.tlb import TLB, TLBConfig, TLBHierarchy
 
 
 def small_tlb(entries=8, ways=2):
