@@ -16,7 +16,7 @@ hint the paper's §8 does not pursue (hardware cost), quantified here.
 
 from repro.core.attacks.port_contention import PortContentionAttack
 from repro.cpu.config import CoreConfig, PortConfig
-from repro.cpu.machine import MachineConfig
+from repro.config import MachineConfig
 from repro.core.module import MicroScopeConfig
 from repro.core.replayer import AttackEnvironment, Replayer
 

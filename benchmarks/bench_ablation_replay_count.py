@@ -14,7 +14,7 @@ from repro.core.module import MicroScopeConfig
 from repro.core.recipes import ReplayAction, ReplayDecision
 from repro.core.replayer import AttackEnvironment, Replayer
 from repro.cpu.config import CoreConfig
-from repro.cpu.machine import MachineConfig
+from repro.config import MachineConfig
 from repro.victims.control_flow import setup_control_flow_victim
 from repro.victims.monitor import setup_port_contention_monitor
 

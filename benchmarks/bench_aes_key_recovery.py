@@ -15,7 +15,7 @@ recovers completely from a handful of single-run extractions.
 
 from repro.core.attacks.aes_key_recovery import AESKeyRecoveryAttack
 from repro.crypto.aes import encrypt_block
-from repro.harness import default_workers
+from repro.harness import FaultPolicy, default_workers
 
 from conftest import emit, render_table
 
@@ -34,8 +34,9 @@ def test_key_recovery_from_attack_windows(once):
         # count never changes the table).
         attack = AESKeyRecoveryAttack(KEY)
         workers = min(default_workers(), len(ciphertexts))
-        attributions = attack.extract_blocks(ciphertexts,
-                                             workers=workers)
+        attributions = attack.extract_blocks(
+            ciphertexts, workers=workers,
+            policy=FaultPolicy(max_attempts=2))
         return [(count, attack.combine(attributions[:count]))
                 for count in range(1, len(attributions) + 1)]
 

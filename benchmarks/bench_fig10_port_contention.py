@@ -18,7 +18,7 @@ from repro.core.attacks.port_contention import (
     PortContentionAttack,
     run_figure10,
 )
-from repro.harness import default_workers
+from repro.harness import FaultPolicy, default_workers
 
 from conftest import emit, full_scale, render_table
 
@@ -42,7 +42,8 @@ def test_figure10(once):
         # The two panels are independent simulations sharing only the
         # calibrated threshold; run them as a 2-worker sweep.
         panels = run_figure10(attack=attack,
-                              workers=min(default_workers(), 2))
+                              workers=min(default_workers(), 2),
+                              policy=FaultPolicy(max_attempts=2))
         return panels["mul"], panels["div"]
 
     mul, div = once(experiment)

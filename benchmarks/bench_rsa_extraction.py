@@ -3,31 +3,43 @@
 The related-work attacks the paper aims to "boost" ([1, 2, 20, 22,
 64]) classically target crypto exponents and need many traces.  This
 bench applies MicroScope to a real square-and-multiply modexp victim
-and measures single-run extraction across exponent widths.
+and measures single-run extraction across exponent widths — driven
+through the :class:`repro.Experiment` facade as a fault-tolerant
+sweep (each width is an independent trial; the merged table is
+worker-count invariant).
 """
 
 import random
 
+from repro import Experiment, FaultPolicy
 from repro.core.attacks.rsa import ModExpExtractionAttack
+from repro.harness import default_workers
 
 from conftest import emit, render_table
+
+WIDTHS = (8, 16, 32, 48)
 
 
 def test_exponent_extraction_sweep(once):
     rng = random.Random(1337)
+    exponents = [rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+                 for bits in WIDTHS]
 
     def experiment():
-        rows = []
-        attack = ModExpExtractionAttack()
-        for bits in (8, 16, 32, 48):
-            exponent = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
-            result = attack.run(exponent)
-            rows.append([bits, f"{exponent:#x}",
-                         f"{result.accuracy:.2f}",
-                         "yes" if result.exact else "NO",
-                         result.replays,
-                         "yes" if result.result_correct else "NO"])
-        return rows
+        report = Experiment(
+            attack=ModExpExtractionAttack(),
+            sweep=[{"exponent": e} for e in exponents],
+            workers=min(default_workers(), len(exponents)),
+            policy=FaultPolicy(max_attempts=2),
+            label="rsa-extraction",
+        ).run()
+        return [[bits, f"{exponent:#x}",
+                 f"{result.accuracy:.2f}",
+                 "yes" if result.exact else "NO",
+                 result.replays,
+                 "yes" if result.result_correct else "NO"]
+                for bits, exponent, result
+                in zip(WIDTHS, exponents, report.results)]
 
     rows = once(experiment)
     table = render_table(

@@ -16,6 +16,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.harness import collect_sweep_reports
 from repro.observability import collect_machines, merge_dumps
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -75,16 +76,22 @@ def _metrics_artifact(request):
     machine-collector hook) and their registry dumps sum-merged into
     ``benchmarks/results/metrics/<test>.json``.  Machines built in
     worker *processes* (the parallel sweep harness) are not visible
-    here; their counters stay worker-local.
+    here; their counters stay worker-local.  Sweep-level accounting
+    *is* visible: every resilient sweep's
+    :class:`~repro.harness.SweepReport` (attempt counts, failure
+    causes, wall time) is collected supervisor-side and lands under
+    the ``"sweeps"`` key.
     """
-    with collect_machines() as machines:
+    with collect_machines() as machines, \
+            collect_sweep_reports() as sweep_reports:
         yield
-    if not machines:
+    if not machines and not sweep_reports:
         return
     payload = {
         "test": request.node.name,
         "machines": len(machines),
         "metrics": merge_dumps([m.metrics.dump() for m in machines]),
+        "sweeps": [report.to_dict() for report in sweep_reports],
     }
     out_dir = RESULTS_DIR / "metrics"
     out_dir.mkdir(parents=True, exist_ok=True)

@@ -21,7 +21,8 @@ from repro.core.attacks.port_contention import PortContentionAttack
 from repro.core.recipes import WalkLocation, WalkTuning, replay_n_times
 from repro.core.replayer import AttackEnvironment, Replayer
 from repro.cpu.config import CoreConfig
-from repro.cpu.machine import Machine, MachineConfig
+from repro.config import MachineConfig
+from repro.cpu.machine import Machine
 from repro.isa.program import ProgramBuilder
 from repro.reporting import machine_report
 from repro.snapshot import clear_cache

@@ -16,13 +16,12 @@
 Run:  python examples/aes_single_run_extraction.py
 """
 
+import repro
 from repro.core.analysis import (
     IndexObservation,
     assemble_round_key,
     recover_round_key,
 )
-from repro.core.attacks.aes_cache import AESCacheAttack
-from repro.core.attacks.aes_key_recovery import AESKeyRecoveryAttack
 from repro.crypto.aes import (
     encrypt_block,
     expand_decrypt_key,
@@ -35,7 +34,7 @@ KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
 
 def figure11_demo(ciphertext):
     print("=== Figure 11: one iteration, three replays ===")
-    attack = AESCacheAttack(KEY, ciphertext)
+    attack = repro.AESCacheAttack(KEY, ciphertext)
     fig11 = attack.run_figure11()
     print("Td1 line :", "  ".join(f"{i:>4}" for i in range(16)))
     for replay, latencies in enumerate(fig11.replay_latencies):
@@ -50,7 +49,7 @@ def figure11_demo(ciphertext):
 
 def full_extraction_demo(ciphertext):
     print("=== Single-run extraction of the whole decryption ===")
-    attack = AESCacheAttack(KEY, ciphertext)
+    attack = repro.AESCacheAttack(KEY, ciphertext)
     result = attack.run_full_extraction()
     for table in range(4):
         print(f"Td{table}: extracted {sorted(result.extracted_lines[table])}")
@@ -66,9 +65,13 @@ def key_recovery_demo():
     ciphertexts = [encrypt_block(KEY, p) for p in plaintexts]
 
     # Stage 1: run the full stepper per block; attribute each round-1
-    # statement's table line from the fault-window probe logs alone.
-    attack = AESKeyRecoveryAttack(KEY)
-    result = attack.run(ciphertexts)
+    # statement's table line from the fault-window probe logs alone —
+    # declared as one facade experiment over the block list.
+    result = repro.Experiment(
+        attack=repro.AESKeyRecoveryAttack(KEY),
+        victim={"ciphertexts": ciphertexts},
+        label="aes-key-recovery-example",
+    ).run().result
     for block, attribution in enumerate(result.attributions):
         print(f"  block {block}: attribution accuracy "
               f"{attribution.accuracy_against(KEY):.2f}")

@@ -11,7 +11,7 @@ Run:  python examples/port_contention_attack.py [--samples N]
 
 import argparse
 
-from repro.core.attacks.port_contention import PortContentionAttack
+import repro
 
 
 def ascii_scatter(samples, threshold, height=12, width=72):
@@ -48,16 +48,22 @@ def main():
                         help="monitor measurements (paper: 10000)")
     args = parser.parse_args()
 
-    attack = PortContentionAttack(measurements=args.samples)
+    attack = repro.PortContentionAttack(measurements=args.samples)
     print("Calibrating threshold from a quiet monitor run...")
     threshold = attack.calibrate()
     print(f"threshold = {threshold:.0f} cycles\n")
 
-    results = {}
+    report = repro.Experiment(
+        attack=attack,
+        victim={"threshold": threshold},
+        sweep=[{"secret": 0}, {"secret": 1}],
+        label="fig10-example",
+    ).run()
+
+    results = dict(zip((0, 1), report.results))
     for secret, figure in ((0, "Figure 10a (victim: 2x mul)"),
                            (1, "Figure 10b (victim: 2x div)")):
-        result = attack.run(secret=secret, threshold=threshold)
-        results[secret] = result
+        result = results[secret]
         print(figure)
         print(ascii_scatter(result.samples, threshold))
         print(f"  above threshold: {result.above_threshold} / "

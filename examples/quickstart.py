@@ -7,24 +7,36 @@ an enclave, and uses MicroScope to replay its two secret-dependent
 instructions until the port-contention monitor can read the secret —
 all from ONE architectural run of the victim.
 
+Everything goes through the top-level facade: one
+:class:`repro.Experiment` declares the attack and the two-secret
+sweep, and ``run()`` handles machine construction, warm-start
+snapshots and result merging.
+
 Run:  python examples/quickstart.py
 """
 
-from repro.core.attacks.port_contention import PortContentionAttack
+import repro
 
 
 def main():
-    attack = PortContentionAttack(measurements=1500)
+    attack = repro.PortContentionAttack(measurements=1500)
 
     print("Calibrating the contention threshold (quiet run)...")
     threshold = attack.calibrate(samples=600)
     print(f"  threshold = {threshold:.0f} cycles "
           f"(the paper's ~120-cycle line)\n")
 
-    for secret, label in ((0, "two multiplications"),
-                          (1, "two divisions")):
-        print(f"Victim secret = {secret} ({label}); attacking...")
-        result = attack.run(secret=secret, threshold=threshold)
+    report = repro.Experiment(
+        attack=attack,
+        victim={"threshold": threshold},
+        sweep=[{"secret": 0}, {"secret": 1}],
+        label="quickstart",
+    ).run()
+
+    for (secret, label), result in zip(
+            ((0, "two multiplications"), (1, "two divisions")),
+            report.results):
+        print(f"Victim secret = {secret} ({label}):")
         print(f"  monitor samples        : {len(result.samples)}")
         print(f"  above threshold        : {result.above_threshold}")
         print(f"  replays of the victim  : {result.replays}")
@@ -33,6 +45,7 @@ def main():
         print(f"  attacker's verdict     : {guess}")
         print(f"  correct                : {result.correct}\n")
 
+    print(f"Both panels in {report.wall_seconds:.1f}s of wall time.")
     print("Both secrets read correctly from a single logical run each —")
     print("the victim's code executed architecturally exactly once.")
 

@@ -16,15 +16,98 @@ cycle-level simulator written from scratch:
 * :mod:`repro.defenses` -- the Section 8 countermeasures;
 * :mod:`repro.baselines` -- the Table-1 comparison attacks.
 
-Quick start::
+The public surface is promoted to this top level (and snapshotted by
+``tests/api/api_surface.json``), so everyday use is one import::
 
-    from repro.core.attacks import PortContentionAttack
-    result = PortContentionAttack(measurements=2000).run(secret=1)
+    import repro
+
+    result = repro.Experiment(
+        attack=repro.PortContentionAttack(measurements=1500),
+        victim={"secret": 1},
+    ).run().result
     print(result.above_threshold, result.verdict)
+
+Configuration lives in :mod:`repro.config`, sweep execution (plain
+and fault-tolerant) in :mod:`repro.harness`, and the facade itself in
+:mod:`repro.experiment`; the deeper module paths all remain public
+for code that wants one abstraction level down.
 """
 
+from repro.config import (
+    CacheConfig,
+    CoreConfig,
+    HierarchyConfig,
+    MachineConfig,
+    PWCConfig,
+    TLBConfig,
+    TLBHierarchyConfig,
+    from_dict,
+    to_dict,
+)
+from repro.core.attacks import (
+    AESCacheAttack,
+    AESKeyRecoveryAttack,
+    ModExpExtractionAttack,
+    PortContentionAttack,
+    run_figure10,
+)
+from repro.core.module import MicroScopeConfig
 from repro.core.replayer import AttackEnvironment, Replayer
+from repro.cpu.machine import Machine
+from repro.experiment import Experiment, ExperimentReport
+from repro.harness import (
+    ChaosPlan,
+    FaultPolicy,
+    SweepJournal,
+    SweepReport,
+    default_workers,
+    derive_seed,
+    merge_ordered,
+    run_resilient_sweep,
+    run_sweep,
+)
+from repro.kernel.kernel import KernelConfig
+from repro.observability import EventTracer, MetricsRegistry
+from repro.sgx.enclave import EnclaveConfig
+from repro.snapshot import MachineSnapshot, warm_start
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["AttackEnvironment", "Replayer", "__version__"]
+__all__ = [
+    "AESCacheAttack",
+    "AESKeyRecoveryAttack",
+    "AttackEnvironment",
+    "CacheConfig",
+    "ChaosPlan",
+    "CoreConfig",
+    "EnclaveConfig",
+    "EventTracer",
+    "Experiment",
+    "ExperimentReport",
+    "FaultPolicy",
+    "HierarchyConfig",
+    "KernelConfig",
+    "Machine",
+    "MachineConfig",
+    "MachineSnapshot",
+    "MetricsRegistry",
+    "MicroScopeConfig",
+    "ModExpExtractionAttack",
+    "PWCConfig",
+    "PortContentionAttack",
+    "Replayer",
+    "SweepJournal",
+    "SweepReport",
+    "TLBConfig",
+    "TLBHierarchyConfig",
+    "default_workers",
+    "derive_seed",
+    "from_dict",
+    "merge_ordered",
+    "run_figure10",
+    "run_resilient_sweep",
+    "run_sweep",
+    "to_dict",
+    "warm_start",
+    "__version__",
+]

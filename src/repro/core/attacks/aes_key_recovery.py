@@ -211,15 +211,25 @@ class AESKeyRecoveryAttack:
                                  recovered=recovered, truth=truth)
 
     def extract_blocks(self, ciphertexts: Sequence[bytes],
-                       workers: int = 1) -> List[Round1Attribution]:
+                       workers: int = 1,
+                       policy=None) -> List[Round1Attribution]:
         """Extract every block's attribution, fanning independent
-        victim runs across *workers* processes (1 = inline)."""
-        from repro.harness import run_sweep
-        sweep = run_sweep(_extract_block_trial,
-                          [(self, ct) for ct in ciphertexts],
-                          workers=workers, label="aes-key-recovery")
+        victim runs across *workers* processes (1 = inline).
+
+        *policy* is an optional
+        :class:`~repro.harness.FaultPolicy`: multi-minute block
+        extractions then survive worker crashes and hangs via the
+        resilient runner's retry ladder (the extraction is a pure
+        function of ``(key, ciphertext)``, so retried blocks merge
+        bit-identically)."""
+        from repro.harness import run_resilient_sweep
+        sweep = run_resilient_sweep(_extract_block_trial,
+                                    [(self, ct) for ct in ciphertexts],
+                                    workers=workers, policy=policy,
+                                    label="aes-key-recovery")
         return sweep.results()
 
     def run(self, ciphertexts: Sequence[bytes],
-            workers: int = 1) -> KeyRecoveryResult:
-        return self.combine(self.extract_blocks(ciphertexts, workers))
+            workers: int = 1, policy=None) -> KeyRecoveryResult:
+        return self.combine(
+            self.extract_blocks(ciphertexts, workers, policy=policy))

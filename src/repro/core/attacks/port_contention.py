@@ -29,7 +29,7 @@ from repro.core.recipes import (
 from repro.core.module import MicroScopeConfig
 from repro.core.replayer import AttackEnvironment, Replayer
 from repro.cpu.config import CoreConfig
-from repro.cpu.machine import MachineConfig
+from repro.config import MachineConfig
 from repro.snapshot import warm_start
 from repro.victims.control_flow import setup_control_flow_victim
 from repro.victims.monitor import setup_port_contention_monitor
@@ -206,17 +206,20 @@ def _panel_trial(params, _seed: int) -> PortContentionResult:
 
 def run_figure10(measurements: int = 10_000,
                  attack: Optional[PortContentionAttack] = None,
-                 workers: int = 1) -> dict:
+                 workers: int = 1, policy=None) -> dict:
     """Reproduce both panels of Figure 10; returns a result dict keyed
     ``"mul"`` / ``"div"``.  The panels are independent simulations and
     share only the calibrated threshold, so ``workers=2`` runs them in
-    parallel with identical results."""
+    parallel with identical results.  Pass a
+    :class:`~repro.harness.FaultPolicy` as *policy* to retry panels
+    whose worker crashes or hangs (each panel is a pure function of
+    the attack parameters, so retries reproduce it exactly)."""
     attack = attack or PortContentionAttack(measurements=measurements)
     threshold = attack.calibrate()
-    from repro.harness import run_sweep
-    sweep = run_sweep(
+    from repro.harness import run_resilient_sweep
+    sweep = run_resilient_sweep(
         _panel_trial,
         [(attack, 0, threshold), (attack, 1, threshold)],
-        workers=workers, label="fig10")
+        workers=workers, policy=policy, label="fig10")
     mul, div = sweep.results()
     return {"mul": mul, "div": div}

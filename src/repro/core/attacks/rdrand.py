@@ -30,7 +30,7 @@ from repro.core.recipes import (
 )
 from repro.core.replayer import AttackEnvironment, Replayer
 from repro.cpu.config import CoreConfig
-from repro.cpu.machine import MachineConfig
+from repro.config import MachineConfig
 from repro.isa.instructions import Opcode
 from repro.victims.integrity import setup_rdrand_victim
 

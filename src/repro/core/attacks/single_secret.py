@@ -19,7 +19,7 @@ from repro.core.module import MicroScopeConfig
 from repro.core.recipes import ReplayAction, ReplayDecision, WalkLocation, WalkTuning
 from repro.core.replayer import AttackEnvironment, Replayer
 from repro.cpu.config import CoreConfig
-from repro.cpu.machine import MachineConfig
+from repro.config import MachineConfig
 from repro.victims.monitor import setup_port_contention_monitor
 from repro.victims.single_secret import setup_single_secret_victim
 

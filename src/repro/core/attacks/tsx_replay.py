@@ -21,7 +21,7 @@ from typing import List
 
 from repro.core.replayer import AttackEnvironment, Replayer
 from repro.cpu.config import CoreConfig
-from repro.cpu.machine import MachineConfig
+from repro.config import MachineConfig
 from repro.isa.instructions import Opcode
 from repro.victims.integrity import setup_tsx_victim
 

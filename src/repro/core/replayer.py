@@ -12,9 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro.config import MachineConfig
 from repro.core.module import MicroScopeConfig, MicroScopeModule
 from repro.core.recipes import AttackRecipe
-from repro.cpu.machine import Machine, MachineConfig
+from repro.cpu.machine import Machine
 from repro.kernel.kernel import Kernel, KernelConfig
 from repro.kernel.process import Process
 from repro.kernel.shm import SharedChannel

@@ -9,39 +9,45 @@ attaches itself as the machine's trap handler.
 
 from __future__ import annotations
 
+import warnings
 from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Callable, Iterator, Optional
+from typing import TYPE_CHECKING, Callable, Iterator, Optional
 
-from repro.cpu.config import CoreConfig
 from repro.cpu.core import Core
 from repro.cpu.traps import TrapHandler
-from repro.mem.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.mem.hierarchy import MemoryHierarchy
 from repro.mem.physical import PhysicalMemory
 from repro.observability.profiler import RunProfile, note_machine
 from repro.observability.registry import MetricsRegistry
-from repro.vm.pwc import PageWalkCache, PWCConfig
-from repro.vm.tlb import TLBHierarchy, TLBHierarchyConfig
+from repro.vm.pwc import PageWalkCache
+from repro.vm.tlb import TLBHierarchy
 from repro.vm.walker import PageWalker
 
+if TYPE_CHECKING:
+    from repro.config import MachineConfig
 
-@dataclass
-class MachineConfig:
-    """Top-level configuration of the whole simulated platform."""
 
-    core: CoreConfig = field(default_factory=CoreConfig)
-    hierarchy: HierarchyConfig = field(default_factory=HierarchyConfig)
-    tlbs: TLBHierarchyConfig = field(default_factory=TLBHierarchyConfig)
-    pwc: PWCConfig = field(default_factory=PWCConfig)
-    #: Physical memory size in 4 KiB frames (default 256 MiB).
-    num_frames: int = 1 << 16
+def __getattr__(name: str):
+    # MachineConfig moved to repro.config; keep the old import path
+    # alive (PEP 562) with a deprecation signal.
+    if name == "MachineConfig":
+        warnings.warn(
+            "importing MachineConfig from repro.cpu.machine is "
+            "deprecated; import it from repro.config (or repro)",
+            DeprecationWarning, stacklevel=2)
+        from repro.config import MachineConfig
+        return MachineConfig
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class Machine:
     """One simulated platform with a single SMT core."""
 
     def __init__(self, config: Optional[MachineConfig] = None):
-        self.config = config or MachineConfig()
+        if config is None:
+            from repro.config import MachineConfig
+            config = MachineConfig()
+        self.config = config
         self.phys = PhysicalMemory(self.config.num_frames)
         self.hierarchy = MemoryHierarchy(self.config.hierarchy)
         self.tlbs = TLBHierarchy(self.config.tlbs)

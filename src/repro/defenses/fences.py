@@ -20,7 +20,7 @@ from repro.core.module import MicroScopeConfig
 from repro.core.recipes import ReplayAction, ReplayDecision, WalkLocation, WalkTuning
 from repro.core.replayer import AttackEnvironment, Replayer
 from repro.cpu.config import CoreConfig
-from repro.cpu.machine import MachineConfig
+from repro.config import MachineConfig
 from repro.isa.instructions import Opcode
 from repro.victims.control_flow import setup_control_flow_victim
 

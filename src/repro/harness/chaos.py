@@ -1,0 +1,128 @@
+"""Deterministic fault injection for the resilient sweep harness.
+
+The chaos layer exists to *prove* the resilience layer: a sweep run
+under an adversarial :class:`ChaosPlan` — workers killed mid-trial,
+trials hung past the watchdog timeout, exceptions thrown, results
+corrupted in flight — must complete via retries and merge to results
+bit-identical to a fault-free run (see ``tests/harness/test_chaos.py``).
+
+A plan maps ``(trial_index, attempt)`` to one of four fault kinds:
+
+``"crash"``
+    the worker process SIGKILLs itself before producing a result —
+    models OOM kills, segfaulting native code, operator ``kill -9``;
+``"hang"``
+    the worker sleeps far past the per-trial timeout, so only the
+    supervisor's watchdog can reclaim the slot;
+``"exception"``
+    the trial raises :class:`ChaosError` — models ordinary in-band
+    failures;
+``"corrupt"``
+    the worker flips bytes of its *pickled result after digesting it*,
+    so the supervisor's verify-hash check must catch the mismatch —
+    models transport/serialisation corruption.
+
+Plans are plain data (picklable, hashable-free), keyed on exactly the
+coordinates the retry ladder is keyed on, so a chaos schedule is as
+deterministic as the sweep itself: the same plan produces the same
+failure sequence on every run, for any worker count.
+
+Chaos requires the supervised (subprocess) execution path; the
+resilient runner switches to it automatically whenever a plan is
+passed.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from random import Random
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.harness.sweep import derive_seed
+
+#: Valid fault kinds, in documentation order.
+FAULT_KINDS = ("crash", "hang", "exception", "corrupt")
+
+
+class ChaosError(RuntimeError):
+    """The injected in-band failure (``kind="exception"``)."""
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A deterministic schedule of injected faults.
+
+    ``faults`` maps ``(trial_index, attempt)`` (both 0-based) to a
+    fault kind from :data:`FAULT_KINDS`.  Attempts not in the map run
+    clean, so any plan that leaves at least one clean attempt per
+    trial lets a sufficiently patient policy finish the sweep.
+    """
+
+    faults: Dict[Tuple[int, int], str] = field(default_factory=dict)
+    #: How long a "hang" sleeps.  Must exceed the policy timeout by a
+    #: comfortable margin; the watchdog kills the worker long before
+    #: the sleep finishes.
+    hang_seconds: float = 30.0
+
+    def __post_init__(self):
+        for key, kind in self.faults.items():
+            if kind not in FAULT_KINDS:
+                raise ValueError(
+                    f"unknown chaos kind {kind!r} at {key}; "
+                    f"expected one of {FAULT_KINDS}")
+
+    @classmethod
+    def seeded(cls, master_seed: int, trial_count: int, *,
+               rate: float = 0.5,
+               kinds: Sequence[str] = FAULT_KINDS,
+               max_faults_per_trial: int = 2,
+               label: str = "chaos",
+               hang_seconds: float = 30.0) -> "ChaosPlan":
+        """Derive a random-looking but fully deterministic plan.
+
+        Per trial, an RNG seeded by ``derive_seed(master, index,
+        label)`` decides, for each of the first *max_faults_per_trial*
+        attempts, whether to fault (probability *rate*) and with which
+        kind.  Keep ``max_faults_per_trial < policy.max_attempts`` so
+        every trial retains a clean attempt.
+        """
+        faults: Dict[Tuple[int, int], str] = {}
+        for index in range(trial_count):
+            rng = Random(derive_seed(master_seed, index, label))
+            for attempt in range(max_faults_per_trial):
+                if rng.random() < rate:
+                    faults[(index, attempt)] = rng.choice(list(kinds))
+        return cls(faults=faults, hang_seconds=hang_seconds)
+
+    def kind(self, index: int, attempt: int) -> Optional[str]:
+        return self.faults.get((index, attempt))
+
+    # --- injection points (called inside the worker process) --------------
+
+    def before(self, index: int, attempt: int) -> None:
+        """Pre-trial injection: crash, hang or raise."""
+        kind = self.kind(index, attempt)
+        if kind == "crash":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif kind == "hang":
+            time.sleep(self.hang_seconds)
+        elif kind == "exception":
+            raise ChaosError(
+                f"injected exception (trial {index}, attempt {attempt})")
+
+    def mangle(self, index: int, attempt: int, payload: bytes) -> bytes:
+        """Post-trial injection: corrupt the already-digested result
+        payload, so the hash check — not luck — must reject it."""
+        if self.kind(index, attempt) != "corrupt" or not payload:
+            return payload
+        return bytes([payload[0] ^ 0xFF]) + payload[1:]
+
+
+__all__ = [
+    "FAULT_KINDS",
+    "ChaosError",
+    "ChaosPlan",
+]

@@ -1,0 +1,781 @@
+"""Fault-tolerant sweep execution: watchdog, retries, degradation.
+
+:func:`repro.harness.run_sweep` assumes every trial succeeds: one
+crashed or hung worker process loses the whole sweep.  At experiment
+volume that assumption fails routinely — OOM kills, wedged simulations,
+flaky serialisation — so this layer wraps the sweep contract in a
+supervisor that *expects* trials to misbehave:
+
+* **watchdog timeouts** — each attempt runs in its own worker process
+  with a deadline; the supervisor kills and reaps workers that blow
+  it, reclaiming the slot immediately;
+* **bounded retries with fresh seed lineage** — attempt *k* of trial
+  *i* reruns with ``derive_seed(master, i, label, attempt=k)``
+  (attempt 0 is bit-identical to the historical seed), plus
+  exponential backoff between attempts.  Because both the retry seed
+  and the retry *decision* depend only on ``(master_seed, label,
+  index, attempt)`` and the observed failures, merged results are
+  invariant to worker count and to *when* failures land in wall-clock
+  time;
+* **result integrity** — workers ship their result with a SHA-256 of
+  the pickled payload; a digest mismatch (or an
+  optional semantic ``FaultPolicy.verify`` hook returning False)
+  counts as a failed attempt and retries like any other fault;
+* **graceful degradation** — when a trial exhausts its attempts,
+  ``on_exhausted`` picks between ``'raise'`` (abort the sweep),
+  ``'skip'`` (drop the trial from merged results) and ``'default'``
+  (substitute ``FaultPolicy.default``);
+* **checkpointing** — with ``journal=path`` every completed trial is
+  journalled to disk (:mod:`repro.harness.journal`); rerunning an
+  interrupted sweep against its journal reruns only the missing
+  trials;
+* **accounting** — every run produces a :class:`SweepReport`
+  (per-trial attempts, outcomes, wall time) that can be recorded into
+  a :class:`~repro.observability.registry.MetricsRegistry` and
+  emitted as :class:`~repro.observability.tracer.EventTracer` slices.
+
+The fault-injection counterpart lives in :mod:`repro.harness.chaos`;
+``tests/harness/test_chaos.py`` proves that a sweep under injected
+crashes, hangs, exceptions and corruption merges bit-identically to a
+fault-free run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import pickle
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from multiprocessing.connection import wait as _connection_wait
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.harness.journal import SweepJournal
+from repro.harness.pool import _mp_context, default_workers
+from repro.harness.sweep import SweepResult, Trial, TrialFn, derive_seed
+
+#: Attempt outcomes, in severity order.  "ok" terminates the ladder;
+#: everything else triggers a retry (or exhaustion).
+ATTEMPT_OUTCOMES = ("ok", "exception", "timeout", "crash", "corrupt",
+                    "rejected")
+
+#: Trial resolutions: how each trial's slot in the merged results was
+#: ultimately filled.
+RESOLUTIONS = ("ok", "journal", "skipped", "defaulted", "failed")
+
+
+class _Skipped:
+    """Singleton placeholder for trials dropped by
+    ``on_exhausted='skip'`` (kept in ``outcomes`` so indices stay
+    aligned with ``trials``; filtered out of ``results()``)."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "SKIPPED"
+
+    def __reduce__(self):
+        return (_Skipped, ())
+
+
+#: The skip marker.
+SKIPPED = _Skipped()
+
+
+class SweepFailure(RuntimeError):
+    """A trial exhausted its attempts under ``on_exhausted='raise'``."""
+
+    def __init__(self, index: int, attempts: List["TrialAttempt"]):
+        causes = ", ".join(a.outcome for a in attempts) or "none"
+        super().__init__(
+            f"trial {index} failed after {len(attempts)} attempt(s) "
+            f"({causes})")
+        self.index = index
+        self.attempts = attempts
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """How hard to try, and what to do when trying stops working."""
+
+    #: Per-attempt deadline in host seconds; None disables the
+    #: watchdog (and, absent chaos, keeps single-worker sweeps on the
+    #: in-process reference path).
+    timeout: Optional[float] = None
+    #: Total attempts per trial (first try included).
+    max_attempts: int = 3
+    #: Exponential backoff before retry k: min(base * factor**(k-1),
+    #: cap) seconds.  base=0 disables waiting (tests).
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_cap: float = 2.0
+    #: 'raise' | 'skip' | 'default' — see the module docstring.
+    on_exhausted: str = "raise"
+    #: Substituted result under ``on_exhausted='default'``.
+    default: Any = None
+    #: Optional semantic check; returning False fails the attempt
+    #: (outcome "rejected") and retries.  Must be picklable if used
+    #: with worker processes.
+    verify: Optional[Callable[[Any], bool]] = None
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.on_exhausted not in ("raise", "skip", "default"):
+            raise ValueError(
+                f"on_exhausted must be 'raise', 'skip' or 'default', "
+                f"not {self.on_exhausted!r}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
+
+    def backoff(self, attempt: int) -> float:
+        """Delay before *attempt* (>= 1)."""
+        if attempt <= 0 or self.backoff_base <= 0:
+            return 0.0
+        return min(self.backoff_base
+                   * (self.backoff_factor ** (attempt - 1)),
+                   self.backoff_cap)
+
+
+@dataclass
+class TrialAttempt:
+    """One attempt of one trial."""
+
+    attempt: int          # 0-based; attempt 0 uses the legacy seed
+    outcome: str          # one of ATTEMPT_OUTCOMES
+    seed: int
+    started: float        # seconds since the sweep began
+    duration: float       # host seconds
+    error: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "attempt": self.attempt,
+            "outcome": self.outcome,
+            "seed": self.seed,
+            "started": round(self.started, 6),
+            "duration": round(self.duration, 6),
+            "error": self.error,
+        }
+
+
+@dataclass
+class TrialReport:
+    """Everything that happened to one trial."""
+
+    index: int
+    attempts: List[TrialAttempt]
+    resolution: str       # one of RESOLUTIONS
+
+    @property
+    def retries(self) -> int:
+        return max(len(self.attempts) - 1, 0)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "resolution": self.resolution,
+            "attempts": [a.to_dict() for a in self.attempts],
+        }
+
+
+@dataclass
+class SweepReport:
+    """Fault-tolerance accounting for one resilient sweep."""
+
+    label: str
+    master_seed: int
+    workers: int
+    trials: List[TrialReport]
+    wall_seconds: float
+
+    @property
+    def attempts_total(self) -> int:
+        return sum(len(t.attempts) for t in self.trials)
+
+    @property
+    def retries_total(self) -> int:
+        return sum(t.retries for t in self.trials)
+
+    def outcome_counts(self) -> Dict[str, int]:
+        """Failed-attempt tally by cause (``ok`` excluded)."""
+        counts = {outcome: 0 for outcome in ATTEMPT_OUTCOMES
+                  if outcome != "ok"}
+        for trial in self.trials:
+            for attempt in trial.attempts:
+                if attempt.outcome != "ok":
+                    counts[attempt.outcome] += 1
+        return counts
+
+    def resolution_counts(self) -> Dict[str, int]:
+        counts = {resolution: 0 for resolution in RESOLUTIONS}
+        for trial in self.trials:
+            counts[trial.resolution] += 1
+        return counts
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "master_seed": self.master_seed,
+            "workers": self.workers,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "attempts_total": self.attempts_total,
+            "retries_total": self.retries_total,
+            "failures": self.outcome_counts(),
+            "resolutions": self.resolution_counts(),
+            "trials": [t.to_dict() for t in self.trials],
+        }
+
+    def record_into(self, metrics: Any,
+                    prefix: str = "harness.sweep") -> None:
+        """Record the report's counters into a
+        :class:`~repro.observability.registry.MetricsRegistry` so
+        sweep failure/attempt counts travel in exported metrics JSON
+        alongside the simulation counters."""
+        base = f"{prefix}.{self.label}" if self.label else prefix
+        metrics.counter(f"{base}.trials").inc(len(self.trials))
+        metrics.counter(f"{base}.attempts").inc(self.attempts_total)
+        metrics.counter(f"{base}.retries").inc(self.retries_total)
+        for outcome, count in self.outcome_counts().items():
+            metrics.counter(f"{base}.failures.{outcome}").inc(count)
+        for resolution, count in self.resolution_counts().items():
+            metrics.counter(
+                f"{base}.resolutions.{resolution}").inc(count)
+        metrics.gauge(f"{base}.wall_seconds").set(
+            round(self.wall_seconds, 6))
+
+    def emit_trace(self, tracer: Any) -> None:
+        """Emit one Chrome-trace slice per attempt (µs timebase,
+        harness track) — replay windows and retry storms line up in
+        Perfetto next to the simulation's own slices."""
+        from repro.observability.tracer import HARNESS_TID
+        name = self.label or "sweep"
+        for trial in self.trials:
+            for attempt in trial.attempts:
+                tracer.complete(
+                    f"{name}[{trial.index}]#{attempt.attempt}",
+                    int(attempt.started * 1e6),
+                    int(attempt.duration * 1e6),
+                    cat="harness", tid=HARNESS_TID,
+                    outcome=attempt.outcome,
+                    error=attempt.error or None)
+
+
+@dataclass
+class ResilientSweepResult(SweepResult):
+    """A :class:`~repro.harness.sweep.SweepResult` plus the
+    fault-tolerance accounting.  ``outcomes`` keeps one slot per
+    trial (``SKIPPED`` marks dropped trials); ``results()`` filters
+    the markers out."""
+
+    report: Optional[SweepReport] = None
+
+    def results(self) -> List[Any]:
+        return [o for o in self.outcomes if o is not SKIPPED]
+
+
+# --- sweep-report collector (benchmark harness hook) ----------------------
+
+_report_collector: Optional[List[SweepReport]] = None
+
+
+def note_sweep_report(report: SweepReport) -> None:
+    """Called at the end of every resilient sweep; records the report
+    when a collector is active (same idiom as
+    :func:`repro.observability.profiler.note_machine`)."""
+    if _report_collector is not None:
+        _report_collector.append(report)
+
+
+@contextmanager
+def collect_sweep_reports() -> Iterator[List[SweepReport]]:
+    """Collect every :class:`SweepReport` produced in this block."""
+    global _report_collector
+    previous = _report_collector
+    reports: List[SweepReport] = []
+    _report_collector = reports
+    try:
+        yield reports
+    finally:
+        _report_collector = previous
+
+
+# --- worker side ----------------------------------------------------------
+
+
+def _attempt_worker(fn, params, seed, chaos, index, attempt, conn):
+    """Run one attempt in a worker process and ship the result with an
+    integrity digest.  Chaos hooks run here — inside the blast radius
+    the supervisor is designed to contain."""
+    try:
+        if chaos is not None:
+            chaos.before(index, attempt)
+        result = fn(params, seed)
+        payload = pickle.dumps(result,
+                               protocol=pickle.HIGHEST_PROTOCOL)
+        digest = hashlib.sha256(payload).hexdigest()
+        if chaos is not None:
+            payload = chaos.mangle(index, attempt, payload)
+        conn.send_bytes(pickle.dumps(("ok", digest, payload)))
+    except BaseException as exc:  # noqa: BLE001 — must report, not die
+        try:
+            conn.send_bytes(pickle.dumps(
+                ("error", f"{type(exc).__name__}: {exc}")))
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+# --- supervisor -----------------------------------------------------------
+
+
+@dataclass
+class _InFlight:
+    trial: Trial
+    attempt: int
+    seed: int
+    process: Any
+    conn: Any
+    started: float       # seconds since sweep start
+    deadline: Optional[float]
+
+
+class _TrialState:
+    __slots__ = ("trial", "attempts")
+
+    def __init__(self, trial: Trial):
+        self.trial = trial
+        self.attempts: List[TrialAttempt] = []
+
+
+class _Supervisor:
+    """Bounded-parallelism process supervisor with a watchdog."""
+
+    def __init__(self, trial_fn: TrialFn, todo: Sequence[Trial], *,
+                 policy: FaultPolicy, master_seed: int, label: str,
+                 workers: int, chaos: Any,
+                 journal: Optional[SweepJournal],
+                 outcomes: Dict[int, Any],
+                 reports: Dict[int, TrialReport],
+                 t0: float):
+        self.trial_fn = trial_fn
+        self.policy = policy
+        self.master_seed = master_seed
+        self.label = label
+        self.workers = max(workers, 1)
+        self.chaos = chaos
+        self.journal = journal
+        self.outcomes = outcomes
+        self.reports = reports
+        self.t0 = t0
+        self.ctx = _mp_context()
+        self.states = {t.index: _TrialState(t) for t in todo}
+        #: (ready_at, tie-break, trial, attempt) — backoff scheduling.
+        self._pending: List[Tuple[float, int, Trial, int]] = []
+        self._tick = 0
+        for trial in todo:
+            self._push(trial, attempt=0, ready_at=0.0)
+        self.inflight: Dict[Any, _InFlight] = {}
+
+    # --- time -------------------------------------------------------------
+
+    def _now(self) -> float:
+        return time.perf_counter() - self.t0
+
+    # --- scheduling -------------------------------------------------------
+
+    def _push(self, trial: Trial, attempt: int,
+              ready_at: float) -> None:
+        self._tick += 1
+        heapq.heappush(self._pending,
+                       (ready_at, self._tick, trial, attempt))
+
+    def _seed_for(self, trial: Trial, attempt: int) -> int:
+        if attempt == 0:
+            return trial.seed
+        return derive_seed(self.master_seed, trial.index, self.label,
+                           attempt)
+
+    def _spawn(self, trial: Trial, attempt: int) -> None:
+        seed = self._seed_for(trial, attempt)
+        recv_conn, send_conn = self.ctx.Pipe(duplex=False)
+        process = self.ctx.Process(
+            target=_attempt_worker,
+            args=(self.trial_fn, trial.params, seed, self.chaos,
+                  trial.index, attempt, send_conn),
+            daemon=True)
+        process.start()
+        # Close the parent's copy of the write end: the child dying is
+        # then guaranteed to surface as EOF on recv_conn.
+        send_conn.close()
+        now = self._now()
+        deadline = (None if self.policy.timeout is None
+                    else now + self.policy.timeout)
+        self.inflight[recv_conn] = _InFlight(
+            trial=trial, attempt=attempt, seed=seed, process=process,
+            conn=recv_conn, started=now, deadline=deadline)
+
+    # --- reaping ----------------------------------------------------------
+
+    def _dispose(self, flight: _InFlight, kill: bool = False) -> None:
+        if kill:
+            flight.process.terminate()
+            flight.process.join(timeout=0.5)
+            if flight.process.is_alive():
+                flight.process.kill()
+        flight.process.join(timeout=10)
+        try:
+            flight.conn.close()
+        except Exception:
+            pass
+
+    def _reap_timeout(self, flight: _InFlight) -> None:
+        self.inflight.pop(flight.conn, None)
+        self._dispose(flight, kill=True)
+        self._failure(flight, "timeout",
+                      f"attempt exceeded the "
+                      f"{self.policy.timeout}s watchdog deadline")
+
+    # --- outcome bookkeeping ----------------------------------------------
+
+    def _attempt_record(self, flight: _InFlight,
+                        outcome: str, error: str) -> TrialAttempt:
+        return TrialAttempt(
+            attempt=flight.attempt, outcome=outcome, seed=flight.seed,
+            started=flight.started,
+            duration=max(self._now() - flight.started, 0.0),
+            error=error)
+
+    def _success(self, flight: _InFlight, result: Any) -> None:
+        state = self.states[flight.trial.index]
+        state.attempts.append(
+            self._attempt_record(flight, "ok", ""))
+        self.outcomes[flight.trial.index] = result
+        self.reports[flight.trial.index] = TrialReport(
+            index=flight.trial.index, attempts=state.attempts,
+            resolution="ok")
+        if self.journal is not None:
+            self.journal.record(flight.trial.index, flight.attempt,
+                                flight.seed, result)
+
+    def _failure(self, flight: _InFlight, outcome: str,
+                 error: str) -> None:
+        # The flight is already out of self.inflight by the time any
+        # failure is recorded.
+        state = self.states[flight.trial.index]
+        state.attempts.append(
+            self._attempt_record(flight, outcome, error))
+        next_attempt = flight.attempt + 1
+        if next_attempt < self.policy.max_attempts:
+            self._push(flight.trial, next_attempt,
+                       self._now() + self.policy.backoff(next_attempt))
+            return
+        self._exhausted(flight.trial, state)
+
+    def _exhausted(self, trial: Trial, state: _TrialState) -> None:
+        policy = self.policy
+        if policy.on_exhausted == "raise":
+            self.reports[trial.index] = TrialReport(
+                index=trial.index, attempts=state.attempts,
+                resolution="failed")
+            self._shutdown()
+            raise SweepFailure(trial.index, state.attempts)
+        if policy.on_exhausted == "skip":
+            self.outcomes[trial.index] = SKIPPED
+            resolution = "skipped"
+        else:
+            self.outcomes[trial.index] = policy.default
+            resolution = "defaulted"
+        self.reports[trial.index] = TrialReport(
+            index=trial.index, attempts=state.attempts,
+            resolution=resolution)
+
+    def _shutdown(self) -> None:
+        """Kill and reap every in-flight worker (abort path)."""
+        for flight in list(self.inflight.values()):
+            self._dispose(flight, kill=True)
+        self.inflight.clear()
+
+    # --- main loop --------------------------------------------------------
+
+    def run(self) -> None:
+        try:
+            self._loop()
+        except BaseException:
+            self._shutdown()
+            raise
+
+    def _loop(self) -> None:
+        while self._pending or self.inflight:
+            now = self._now()
+            while (self._pending
+                   and len(self.inflight) < self.workers
+                   and self._pending[0][0] <= now):
+                _ready, _tick, trial, attempt = \
+                    heapq.heappop(self._pending)
+                self._spawn(trial, attempt)
+            if not self.inflight:
+                # Everything runnable is in backoff: sleep it off.
+                wait_for = max(self._pending[0][0] - self._now(), 0.0)
+                if wait_for:
+                    time.sleep(min(wait_for, 0.25))
+                continue
+            timeout = self._wait_budget()
+            ready = _connection_wait(list(self.inflight.keys()),
+                                     timeout)
+            for conn in ready:
+                flight = self.inflight.pop(conn, None)
+                if flight is not None:
+                    self._reap(flight)
+            now = self._now()
+            for flight in [f for f in self.inflight.values()
+                           if f.deadline is not None
+                           and f.deadline <= now]:
+                self._reap_timeout(flight)
+
+    def _reap(self, flight: _InFlight) -> None:
+        """The worker's pipe became readable: result, error or EOF.
+        *flight* is already out of ``self.inflight``."""
+        try:
+            blob = flight.conn.recv_bytes()
+        except (EOFError, OSError):
+            self._dispose(flight)
+            code = flight.process.exitcode
+            self._failure(flight, "crash",
+                          f"worker died without a result "
+                          f"(exit code {code})")
+            return
+        self._dispose(flight)
+        try:
+            message = pickle.loads(blob)
+        except Exception as exc:
+            self._failure(flight, "corrupt",
+                          f"undecodable worker envelope: {exc}")
+            return
+        if message[0] == "error":
+            self._failure(flight, "exception", message[1])
+            return
+        _tag, digest, payload = message
+        if hashlib.sha256(payload).hexdigest() != digest:
+            self._failure(flight, "corrupt",
+                          "result payload failed its integrity digest")
+            return
+        try:
+            result = pickle.loads(payload)
+        except Exception as exc:
+            self._failure(flight, "corrupt",
+                          f"result payload failed to unpickle: {exc}")
+            return
+        if self.policy.verify is not None \
+                and not self.policy.verify(result):
+            self._failure(flight, "rejected",
+                          "verify hook rejected the result")
+            return
+        self._success(flight, result)
+
+    def _wait_budget(self) -> float:
+        """Seconds to block in connection-wait: until the earliest
+        watchdog deadline or backoff expiry, capped for liveness."""
+        now = self._now()
+        horizon = 0.25
+        deadlines = [f.deadline for f in self.inflight.values()
+                     if f.deadline is not None]
+        if deadlines:
+            horizon = min(horizon, max(min(deadlines) - now, 0.0))
+        if self._pending and len(self.inflight) < self.workers:
+            horizon = min(horizon,
+                          max(self._pending[0][0] - now, 0.0))
+        return max(horizon, 0.0)
+
+
+# --- inline reference path ------------------------------------------------
+
+
+def _run_inline(trial_fn: TrialFn, todo: Sequence[Trial], *,
+                policy: FaultPolicy, master_seed: int, label: str,
+                journal: Optional[SweepJournal],
+                outcomes: Dict[int, Any],
+                reports: Dict[int, TrialReport], t0: float) -> None:
+    """Single-worker, no-watchdog path: runs attempts in-process (no
+    pickling), which is the reference execution the supervised path
+    must reproduce."""
+    for trial in todo:
+        attempts: List[TrialAttempt] = []
+        resolved = False
+        for attempt in range(policy.max_attempts):
+            if attempt:
+                delay = policy.backoff(attempt)
+                if delay:
+                    time.sleep(delay)
+            seed = (trial.seed if attempt == 0
+                    else derive_seed(master_seed, trial.index, label,
+                                     attempt))
+            started = time.perf_counter() - t0
+            try:
+                result = trial_fn(trial.params, seed)
+                duration = time.perf_counter() - t0 - started
+                if policy.verify is not None \
+                        and not policy.verify(result):
+                    attempts.append(TrialAttempt(
+                        attempt=attempt, outcome="rejected",
+                        seed=seed, started=started, duration=duration,
+                        error="verify hook rejected the result"))
+                    continue
+                attempts.append(TrialAttempt(
+                    attempt=attempt, outcome="ok", seed=seed,
+                    started=started, duration=duration))
+                outcomes[trial.index] = result
+                reports[trial.index] = TrialReport(
+                    index=trial.index, attempts=attempts,
+                    resolution="ok")
+                if journal is not None:
+                    journal.record(trial.index, attempt, seed, result)
+                resolved = True
+                break
+            except Exception as exc:
+                duration = time.perf_counter() - t0 - started
+                attempts.append(TrialAttempt(
+                    attempt=attempt, outcome="exception", seed=seed,
+                    started=started, duration=duration,
+                    error=f"{type(exc).__name__}: {exc}"))
+        if resolved:
+            continue
+        if policy.on_exhausted == "raise":
+            reports[trial.index] = TrialReport(
+                index=trial.index, attempts=attempts,
+                resolution="failed")
+            raise SweepFailure(trial.index, attempts)
+        if policy.on_exhausted == "skip":
+            outcomes[trial.index] = SKIPPED
+            resolution = "skipped"
+        else:
+            outcomes[trial.index] = policy.default
+            resolution = "defaulted"
+        reports[trial.index] = TrialReport(
+            index=trial.index, attempts=attempts,
+            resolution=resolution)
+
+
+# --- driver ---------------------------------------------------------------
+
+
+def run_resilient_sweep(trial_fn: TrialFn, params: Sequence[Any], *,
+                        master_seed: int = 0,
+                        workers: Optional[int] = None,
+                        label: str = "",
+                        policy: Optional[FaultPolicy] = None,
+                        chaos: Any = None,
+                        journal: Any = None,
+                        metrics: Any = None,
+                        tracer: Any = None) -> ResilientSweepResult:
+    """Run a sweep that survives crashing, hanging and lying workers.
+
+    Drop-in superset of :func:`repro.harness.run_sweep`: same trial
+    contract, same seed derivation, same trial-order merge — plus the
+    :class:`FaultPolicy` retry ladder, optional
+    :class:`~repro.harness.chaos.ChaosPlan` injection, optional
+    on-disk *journal* (path or :class:`SweepJournal`) for resume, and
+    optional *metrics* registry / *tracer* to record the
+    :class:`SweepReport` into.
+
+    Execution path selection: with no chaos, no watchdog timeout and
+    one worker, trials run inline in this process (bit-compatible with
+    ``run_sweep(workers=1)`` plus retries); otherwise every attempt
+    gets its own supervised worker process.
+    """
+    policy = policy or FaultPolicy()
+    params = list(params)
+    trials = [Trial(index=i,
+                    seed=derive_seed(master_seed, i, label), params=p)
+              for i, p in enumerate(params)]
+    outcomes: Dict[int, Any] = {}
+    reports: Dict[int, TrialReport] = {}
+
+    journal_obj: Optional[SweepJournal] = None
+    if journal is not None:
+        journal_obj = (journal if isinstance(journal, SweepJournal)
+                       else SweepJournal(journal))
+        for index, (attempt, result) in journal_obj.open(
+                label, master_seed, len(trials)).items():
+            outcomes[index] = result
+            reports[index] = TrialReport(index=index, attempts=[],
+                                         resolution="journal")
+
+    todo = [t for t in trials if t.index not in reports]
+    if workers is None:
+        effective_workers = default_workers()
+    else:
+        effective_workers = max(int(workers), 1)
+    effective_workers = min(effective_workers, max(len(todo), 1))
+
+    t0 = time.perf_counter()
+    try:
+        if todo:
+            supervised = (chaos is not None
+                          or policy.timeout is not None
+                          or effective_workers > 1)
+            if supervised:
+                _Supervisor(trial_fn, todo, policy=policy,
+                            master_seed=master_seed, label=label,
+                            workers=effective_workers, chaos=chaos,
+                            journal=journal_obj, outcomes=outcomes,
+                            reports=reports, t0=t0).run()
+            else:
+                _run_inline(trial_fn, todo, policy=policy,
+                            master_seed=master_seed, label=label,
+                            journal=journal_obj, outcomes=outcomes,
+                            reports=reports, t0=t0)
+    finally:
+        if journal_obj is not None:
+            journal_obj.close()
+
+    wall = time.perf_counter() - t0
+    report = SweepReport(
+        label=label, master_seed=master_seed,
+        workers=effective_workers,
+        trials=[reports[t.index] for t in trials],
+        wall_seconds=wall)
+    if metrics is not None:
+        report.record_into(metrics)
+    if tracer is not None:
+        report.emit_trace(tracer)
+    note_sweep_report(report)
+    return ResilientSweepResult(
+        label=label, master_seed=master_seed, trials=trials,
+        outcomes=[outcomes[t.index] for t in trials],
+        report=report)
+
+
+__all__ = [
+    "ATTEMPT_OUTCOMES",
+    "RESOLUTIONS",
+    "SKIPPED",
+    "FaultPolicy",
+    "ResilientSweepResult",
+    "SweepFailure",
+    "SweepReport",
+    "TrialAttempt",
+    "TrialReport",
+    "collect_sweep_reports",
+    "note_sweep_report",
+    "run_resilient_sweep",
+]

@@ -30,15 +30,27 @@ from repro.harness.pool import run_indexed
 TrialFn = Callable[[Any, int], Any]
 
 
-def derive_seed(master_seed: int, index: int, label: str = "") -> int:
+def derive_seed(master_seed: int, index: int, label: str = "",
+                attempt: int = 0) -> int:
     """Derive a 64-bit trial seed from the sweep's master seed.
 
     SHA-256 over ``master:label:index`` — stable across processes and
     Python versions (unlike ``hash``), and statistically independent
     across indices, so trials never share RNG streams no matter how
     the sweep is partitioned across workers.
+
+    *attempt* extends the lineage for the fault-tolerant layer
+    (:mod:`repro.harness.resilience`): retry *k* of a trial runs with
+    ``derive_seed(master, index, label, attempt=k)``, so retries get
+    fresh, independent randomness while staying deterministic
+    functions of the sweep inputs alone.  ``attempt=0`` hashes the
+    historical material, so first-attempt seeds are bit-identical to
+    the pre-resilience harness.
     """
-    material = f"{master_seed}:{label}:{index}".encode()
+    if attempt:
+        material = f"{master_seed}:{label}:{index}:{attempt}".encode()
+    else:
+        material = f"{master_seed}:{label}:{index}".encode()
     digest = hashlib.sha256(material).digest()
     return int.from_bytes(digest[:8], "big")
 

@@ -42,6 +42,7 @@ from repro.observability.stats import (
     WalkerStats,
 )
 from repro.observability.tracer import (
+    HARNESS_TID,
     KERNEL_TID,
     MICROSCOPE_TID,
     EventTracer,
@@ -71,6 +72,7 @@ __all__ = [
     "MicroScopeStats",
     "EventTracer",
     "TraceEvent",
+    "HARNESS_TID",
     "KERNEL_TID",
     "MICROSCOPE_TID",
 ]

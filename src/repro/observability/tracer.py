@@ -41,8 +41,13 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence
 #: tracks use their context_id directly.
 KERNEL_TID = 100
 MICROSCOPE_TID = 101
+#: Track for the sweep harness (per-attempt slices from
+#: :meth:`repro.harness.resilience.SweepReport.emit_trace`; host-time
+#: microseconds rather than cycles).
+HARNESS_TID = 102
 
-_TRACK_NAMES = {KERNEL_TID: "kernel", MICROSCOPE_TID: "microscope"}
+_TRACK_NAMES = {KERNEL_TID: "kernel", MICROSCOPE_TID: "microscope",
+                HARNESS_TID: "harness"}
 
 #: Chrome trace_event phases used by this tracer.
 PH_COMPLETE = "X"
@@ -251,6 +256,7 @@ class EventTracer:
 __all__ = [
     "EventTracer",
     "TraceEvent",
+    "HARNESS_TID",
     "KERNEL_TID",
     "MICROSCOPE_TID",
     "PH_COMPLETE",

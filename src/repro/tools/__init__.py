@@ -1,0 +1,5 @@
+"""Developer tooling (API-surface snapshotting, etc.).
+
+Nothing here is part of the simulated platform; these are scripts run
+by CI and maintainers via ``python -m repro.tools.<name>``.
+"""

@@ -1,0 +1,193 @@
+"""The repro.Experiment facade."""
+
+import json
+
+import pytest
+
+import repro
+from repro.experiment import _attack_trial
+
+
+def doubler(params, seed):
+    return params * 2
+
+
+class StubAttack:
+    """Picklable stand-in with the attack-object contract."""
+
+    def __init__(self, gain=1):
+        self.gain = gain
+
+    def run(self, secret=0, offset=0):
+        return secret * self.gain + offset
+
+
+# --- declaration validation ------------------------------------------------
+
+
+def test_needs_attack_or_trial():
+    with pytest.raises(ValueError):
+        repro.Experiment()
+
+
+def test_rejects_attack_and_trial_together():
+    with pytest.raises(ValueError):
+        repro.Experiment(attack=StubAttack(), trial=doubler)
+
+
+def test_rejects_victim_with_trial():
+    with pytest.raises(ValueError):
+        repro.Experiment(trial=doubler, victim={"x": 1})
+
+
+def test_rejects_attack_without_run():
+    with pytest.raises(TypeError):
+        repro.Experiment(attack=object())
+
+
+def test_rejects_non_dict_sweep_items_for_attacks():
+    exp = repro.Experiment(attack=StubAttack(), sweep=[1, 2])
+    with pytest.raises(TypeError):
+        exp.run()
+
+
+# --- runs ------------------------------------------------------------------
+
+
+def test_single_attack_run():
+    report = repro.Experiment(attack=StubAttack(gain=3),
+                              victim={"secret": 5}).run()
+    assert report.result == 15
+    assert report.report.attempts_total == 1
+
+
+def test_sweep_merges_victim_and_item_kwargs():
+    report = repro.Experiment(
+        attack=StubAttack(gain=10),
+        victim={"offset": 1},
+        sweep=[{"secret": s} for s in (1, 2, 3)],
+        label="stub",
+    ).run()
+    assert report.results == [11, 21, 31]
+    # item kwargs win over victim kwargs
+    override = repro.Experiment(
+        attack=StubAttack(), victim={"secret": 9},
+        sweep=[{"secret": 1}],
+    ).run()
+    assert override.result == 1
+
+
+def test_trial_sweep_passes_params_verbatim():
+    report = repro.Experiment(trial=doubler, sweep=[3, 4]).run()
+    assert report.results == [6, 8]
+
+
+def test_single_trial_gets_none_params():
+    report = repro.Experiment(
+        trial=lambda params, seed: (params, seed)).run()
+    params, seed = report.result
+    assert params is None
+    assert seed == repro.derive_seed(0, 0, "")
+
+
+def test_result_property_guards_sweeps():
+    report = repro.Experiment(trial=doubler, sweep=[1, 2]).run()
+    with pytest.raises(ValueError):
+        report.result
+
+
+def test_experiment_is_reusable():
+    exp = repro.Experiment(trial=doubler, sweep=[5])
+    assert exp.run().results == exp.run().results == [10]
+
+
+# --- resilience and accounting wiring --------------------------------------
+
+
+def test_facade_policy_and_metrics():
+    flaky = {"calls": 0}
+
+    def sometimes(params, seed):
+        flaky["calls"] += 1
+        if flaky["calls"] == 1:
+            raise RuntimeError("first call fails")
+        return params
+
+    report = repro.Experiment(
+        trial=sometimes, sweep=[7],
+        policy=repro.FaultPolicy(backoff_base=0.0),
+        label="flaky",
+    ).run()
+    assert report.results == [7]
+    dump = json.loads(json.dumps(report.metrics.dump()))
+    assert dump["harness.sweep.flaky.retries"] == 1
+    assert dump["harness.sweep.flaky.failures.exception"] == 1
+
+
+def test_facade_journal_resume(tmp_path):
+    journal = tmp_path / "exp.journal"
+    first = repro.Experiment(trial=doubler, sweep=[1, 2, 3],
+                             label="j", journal=journal).run()
+    assert first.results == [2, 4, 6]
+
+    def explode(params, seed):
+        raise AssertionError("must come from the journal")
+
+    resumed = repro.Experiment(trial=explode, sweep=[1, 2, 3],
+                               label="j", journal=journal).run()
+    assert resumed.results == first.results
+    assert resumed.report.resolution_counts()["journal"] == 3
+
+
+def test_facade_chaos():
+    plan = repro.ChaosPlan(faults={(0, 0): "exception"})
+    report = repro.Experiment(
+        trial=doubler, sweep=[4],
+        policy=repro.FaultPolicy(backoff_base=0.0),
+        chaos=plan, label="c",
+    ).run()
+    assert report.results == [8]
+    assert report.report.outcome_counts()["exception"] == 1
+
+
+def test_report_to_dict():
+    payload = json.loads(json.dumps(
+        repro.Experiment(trial=doubler, sweep=[1], label="d")
+        .run().to_dict()))
+    assert payload["label"] == "d"
+    assert payload["trials"] == 1
+    assert payload["sweep"]["resolutions"]["ok"] == 1
+
+
+def test_attack_trial_adapter():
+    assert _attack_trial((StubAttack(gain=2), {"secret": 4}), 0) == 8
+
+
+# --- environment construction ---------------------------------------------
+
+
+def test_environment_builds_replayer():
+    from repro.core.replayer import Replayer
+    exp = repro.Experiment(
+        trial=doubler,
+        machine=repro.MachineConfig(num_frames=1 << 10))
+    rep = exp.environment()
+    assert isinstance(rep, Replayer)
+    assert rep.machine.config.num_frames == 1 << 10
+
+
+def test_environment_warm_start_rewinds():
+    from repro.snapshot import clear_cache
+    clear_cache()
+    try:
+        exp = repro.Experiment(
+            trial=doubler,
+            machine=repro.MachineConfig(num_frames=1 << 10))
+        first = exp.environment(warm=True)
+        baseline = first.machine.cycle
+        first.machine.run(100)
+        second = exp.environment(warm=True)
+        assert second.machine is first.machine
+        assert second.machine.cycle == baseline
+    finally:
+        clear_cache()

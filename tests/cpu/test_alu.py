@@ -115,8 +115,7 @@ def test_rdtsc_monotone():
 
 def test_rdrand_deterministic_by_seed():
     def output(seed):
-        from repro.cpu.config import CoreConfig
-        from repro.cpu.machine import MachineConfig
+        from repro.config import CoreConfig, MachineConfig
         machine = Machine(MachineConfig(core=CoreConfig(
             rdrand_seed=seed, rdrand_fenced=False)))
         context = machine.contexts[0]

@@ -1,7 +1,8 @@
 import pytest
 
 from repro.cpu.config import CoreConfig, default_latencies, op_class
-from repro.cpu.machine import Machine, MachineConfig
+from repro.config import MachineConfig
+from repro.cpu.machine import Machine
 from repro.isa import instructions as ins
 from repro.isa.program import ProgramBuilder
 

@@ -87,7 +87,7 @@ def test_fence_first_window_still_leaks():
     from repro.core.recipes import ReplayAction, ReplayDecision
     from repro.core.replayer import AttackEnvironment, Replayer
     from repro.cpu.config import CoreConfig
-    from repro.cpu.machine import MachineConfig
+    from repro.config import MachineConfig
     from repro.isa.instructions import Opcode
     from repro.isa.program import ProgramBuilder
 
