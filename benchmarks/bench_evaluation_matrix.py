@@ -1,0 +1,57 @@
+"""Evaluation matrix (§8): every attack against every defense.
+
+Runs the `repro.evaluation` matrix — the machinery behind
+`docs/RESULTS.md` — and renders it as a table, one row per attack and
+one column per defense, each cell classified defeated / degraded /
+unaffected against the attack's own undefended baseline.
+
+At default scale the port-contention row runs with trimmed sample
+counts; ``REPRO_FULL_SCALE=1`` uses the `docs/RESULTS.md` defaults.
+"""
+
+from repro.evaluation import MatrixRunner
+
+from conftest import emit, emit_json, full_scale, render_table
+
+
+def test_evaluation_matrix(once):
+    def experiment():
+        overrides = {}
+        if not full_scale():
+            overrides = {"port-contention": {"measurements": 400,
+                                             "calibrate_samples": 300}}
+        runner = MatrixRunner(overrides=overrides,
+                              label="bench-evaluation-matrix")
+        return runner.run()
+
+    matrix = once(experiment)
+
+    headers = ["attack"] + list(matrix.defenses)
+    rows = []
+    for attack in matrix.attacks:
+        row = [attack]
+        for defense in matrix.defenses:
+            cell = matrix.cell(attack, defense)
+            if defense == "none":
+                acc = cell.metrics.accuracy
+                row.append(f"leaks ({acc:.2f})"
+                           if acc is not None else "error")
+            else:
+                row.append(cell.classification)
+        rows.append(row)
+    table = render_table("Attack x defense evaluation matrix (§8)",
+                         headers, rows)
+    emit("evaluation_matrix", table)
+    emit_json("evaluation_matrix", matrix.to_dict())
+
+    # the §8 headline cells, asserted on the measured matrix
+    assert matrix.cell("cf-cache", "none").metrics.accuracy == 1.0
+    assert matrix.cell("cf-cache", "fences").classification == "defeated"
+    assert matrix.cell("cf-cache", "tsgx").classification == "unaffected"
+    assert matrix.cell("controlled-channel",
+                       "pf-oblivious").classification == "defeated"
+    assert matrix.cell("controlled-channel",
+                       "tsgx").classification == "defeated"
+    for attack in matrix.attacks:
+        baseline = matrix.cell(attack, "none")
+        assert baseline.metrics.error is None

@@ -14,7 +14,9 @@ cycle-level simulator written from scratch:
 * :mod:`repro.core` -- MicroScope itself: recipes, kernel module,
   Replayer, attacks and analysis;
 * :mod:`repro.defenses` -- the Section 8 countermeasures;
-* :mod:`repro.baselines` -- the Table-1 comparison attacks.
+* :mod:`repro.baselines` -- the Table-1 comparison attacks;
+* :mod:`repro.evaluation` -- the attack x defense matrix behind
+  ``docs/RESULTS.md``.
 
 The public surface is promoted to this top level (and snapshotted by
 ``tests/api/api_surface.json``), so everyday use is one import::
@@ -54,6 +56,15 @@ from repro.core.attacks import (
 from repro.core.module import MicroScopeConfig
 from repro.core.replayer import AttackEnvironment, Replayer
 from repro.cpu.machine import Machine
+from repro.evaluation import (
+    AttackSpec,
+    CellMetrics,
+    DefenseSpec,
+    EvaluationMatrix,
+    MatrixCell,
+    MatrixRunner,
+    classify_cell,
+)
 from repro.experiment import Experiment, ExperimentReport
 from repro.harness import (
     ChaosPlan,
@@ -71,16 +82,20 @@ from repro.observability import EventTracer, MetricsRegistry
 from repro.sgx.enclave import EnclaveConfig
 from repro.snapshot import MachineSnapshot, warm_start
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AESCacheAttack",
     "AESKeyRecoveryAttack",
     "AttackEnvironment",
+    "AttackSpec",
     "CacheConfig",
+    "CellMetrics",
     "ChaosPlan",
     "CoreConfig",
+    "DefenseSpec",
     "EnclaveConfig",
+    "EvaluationMatrix",
     "EventTracer",
     "Experiment",
     "ExperimentReport",
@@ -90,6 +105,8 @@ __all__ = [
     "Machine",
     "MachineConfig",
     "MachineSnapshot",
+    "MatrixCell",
+    "MatrixRunner",
     "MetricsRegistry",
     "MicroScopeConfig",
     "ModExpExtractionAttack",
@@ -100,6 +117,7 @@ __all__ = [
     "SweepReport",
     "TLBConfig",
     "TLBHierarchyConfig",
+    "classify_cell",
     "default_workers",
     "derive_seed",
     "from_dict",

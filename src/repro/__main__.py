@@ -69,6 +69,21 @@ def _demo_defenses(args):
           f"terminated: {tsgx.victim_terminated}")
 
 
+def _demo_matrix(args):
+    from repro.evaluation import MatrixRunner
+    runner = MatrixRunner(
+        attacks=tuple(args.attacks) if args.attacks else (),
+        defenses=tuple(args.defenses) if args.defenses else (),
+        overrides={"port-contention":
+                   {"measurements": args.samples,
+                    "calibrate_samples": max(200, args.samples // 2)}},
+        workers=args.workers)
+    matrix = runner.run()
+    print(matrix.summary_markdown())
+    print()
+    print(matrix.detail_markdown())
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -85,6 +100,16 @@ def main(argv=None) -> int:
     key.set_defaults(fn=_demo_key)
     defenses = sub.add_parser("defenses", help="Section 8 in brief")
     defenses.set_defaults(fn=_demo_defenses)
+    matrix = sub.add_parser(
+        "matrix", help="attack x defense evaluation matrix")
+    matrix.add_argument("--attacks", nargs="*", default=None,
+                        help="rows to run (default: all)")
+    matrix.add_argument("--defenses", nargs="*", default=None,
+                        help="columns to run (default: all)")
+    matrix.add_argument("--samples", type=int, default=600,
+                        help="port-contention Monitor samples")
+    matrix.add_argument("--workers", type=int, default=None)
+    matrix.set_defaults(fn=_demo_matrix)
     args = parser.parse_args(argv)
     args.fn(args)
     return 0

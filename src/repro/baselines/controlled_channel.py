@@ -12,20 +12,29 @@ a *noiseless* channel, but spatially limited to 4 KiB pages (Table 1's
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, List, Optional
 
+from repro.config import MachineConfig
 from repro.core.replayer import AttackEnvironment, Replayer
 from repro.cpu.traps import TrapAction
 from repro.isa.program import Program, ProgramBuilder
+from repro.kernel.process import Process
 from repro.vm import address as vaddr
 
 
 def build_page_secret_victim(handle_va: int, secret_va: int,
                              pageB_va: int, pageC_va: int,
-                             same_page: bool) -> Program:
+                             same_page: bool,
+                             oblivious: bool = False) -> Program:
     """Branch on a secret; the taken path touches page C (or, in the
-    ``same_page`` variant, merely a different *line* of page B)."""
-    b = ProgramBuilder("cc-victim")
+    ``same_page`` variant, merely a different *line* of page B).
+
+    With ``oblivious=True`` the program is the PF-oblivious rewrite
+    (Shinde et al. [51], §8): both paths touch page B then page C in
+    the same order, so the fault sequence carries no signal.
+    """
+    b = ProgramBuilder("cc-victim-oblivious" if oblivious
+                       else "cc-victim")
     b.li("r1", handle_va)
     b.li("r2", secret_va)
     b.li("r3", pageB_va)
@@ -35,8 +44,12 @@ def build_page_secret_victim(handle_va: int, secret_va: int,
     b.li("r7", 0)
     b.bne("r6", "r7", "path_c")
     b.load("r8", "r3", 0)
+    if oblivious and not same_page:
+        b.load("r9", "r4", 0)   # redundant access: page C
     b.jmp("done")
     b.label("path_c")
+    if oblivious and not same_page:
+        b.load("r9", "r3", 0)   # redundant access first: page B
     b.load("r8", "r4", 0)
     b.label("done")
     b.halt()
@@ -55,12 +68,26 @@ class ControlledChannelResult:
         return self.guessed == self.secret
 
 
+@dataclass
 class ControlledChannelAttack:
     """Log the victim's page-fault sequence and infer the secret."""
 
+    #: Machine-level defense knobs (``None`` = stock platform).
+    machine: Optional[MachineConfig] = None
+    #: Attack the PF-oblivious rewrite of the victim (§8, [51]): the
+    #: fault sequence becomes input-invariant, which is exactly what
+    #: this page-granular channel cannot see through.
+    oblivious: bool = False
+    #: Optional victim transform applied before launch (e.g.
+    #: ``repro.defenses.tsgx.wrap_with_tsgx``): a callable
+    #: ``(program, process) -> program``.
+    victim_wrapper: Optional[
+        Callable[[Program, Process], Program]] = None
+
     def run(self, secret: int,
             same_page: bool = False) -> ControlledChannelResult:
-        rep = Replayer(AttackEnvironment.build())
+        rep = Replayer(AttackEnvironment.build(
+            machine_config=self.machine))
         victim_proc = rep.create_victim_process("cc-victim")
         handle_va = victim_proc.alloc(4096, "cc-handle")
         secret_va = victim_proc.alloc(4096, "cc-secret")
@@ -68,7 +95,10 @@ class ControlledChannelAttack:
         pageC_va = victim_proc.alloc(4096, "cc-pageC")
         victim_proc.write(secret_va, secret)
         program = build_page_secret_victim(
-            handle_va, secret_va, pageB_va, pageC_va, same_page)
+            handle_va, secret_va, pageB_va, pageC_va, same_page,
+            oblivious=self.oblivious)
+        if self.victim_wrapper is not None:
+            program = self.victim_wrapper(program, victim_proc)
 
         fault_vpns: List[int] = []
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.config import MachineConfig
 from repro.core.analysis import classify_hits
 from repro.core.recipes import (
     ReplayAction,
@@ -94,15 +95,24 @@ class ControlFlowCacheAttack:
     replays: int = 5
     walk_tuning: WalkTuning = field(default_factory=lambda: WalkTuning(
         upper=WalkLocation.PWC, leaf=WalkLocation.DRAM))
+    #: Machine-level defense knobs (e.g. ``fence_on_flush``) — the
+    #: platform the victim runs on, not an attack parameter.
+    machine: Optional[MachineConfig] = None
+    #: Cap on replay windows the platform grants (T-SGX / Déjà-Vu
+    #: style budgets); ``None`` means the attacker-chosen ``replays``.
+    replay_budget: Optional[int] = None
 
     def run(self, secret: int) -> ControlFlowCacheResult:
-        rep = Replayer(AttackEnvironment.build())
+        rep = Replayer(AttackEnvironment.build(
+            machine_config=self.machine))
         victim_proc = rep.create_victim_process("cf-victim")
         victim = setup_cache_cf_victim(victim_proc, secret)
         module = rep.module
         probe_addrs = [victim.lineB_va, victim.lineC_va]
         threshold = rep.machine.hierarchy.hit_latency(1)
         hits = {"B": 0, "C": 0}
+        limit = self.replays if self.replay_budget is None \
+            else min(self.replays, self.replay_budget)
 
         def attack_fn(event) -> ReplayDecision:
             lat = module.probe_lines(victim_proc, probe_addrs)
@@ -112,7 +122,7 @@ class ControlFlowCacheAttack:
             if 1 in touched:
                 hits["C"] += 1
             cost = module.prime_lines(victim_proc, probe_addrs)
-            if event.replay_no >= self.replays:
+            if event.replay_no >= limit:
                 return ReplayDecision(ReplayAction.RELEASE,
                                       extra_cost=cost)
             return ReplayDecision(ReplayAction.REPLAY, extra_cost=cost)

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Set
 
+from repro.config import MachineConfig
 from repro.core.analysis import classify_hits, majority_lines
 from repro.core.module import MicroScopeConfig
 from repro.core.recipes import (
@@ -76,9 +77,15 @@ class LoopSecretAttack:
     #: §4.2.2 "short enough for a single secret transmission" tuning.
     walk_tuning: WalkTuning = field(default_factory=lambda: WalkTuning(
         upper=WalkLocation.PWC, leaf=WalkLocation.L1))
+    #: Machine-level defense knobs (``None`` = stock platform).
+    machine: Optional[MachineConfig] = None
+    #: Cap on *total* replay windows across the whole loop (the
+    #: cumulative ``replay_no``), as granted by budgeted defenses.
+    replay_budget: Optional[int] = None
 
     def run(self, secrets: List[int]) -> LoopSecretResult:
         rep = Replayer(AttackEnvironment.build(
+            machine_config=self.machine,
             module_config=MicroScopeConfig(
                 fault_handler_cost=self.fault_handler_cost,
                 probe_noise=self.probe_noise)))
@@ -101,6 +108,14 @@ class LoopSecretAttack:
             replay_hits.append(hits)
             state["replay"] += 1
             cost = module.prime_lines(victim_proc, probe_addrs)
+            if self.replay_budget is not None \
+                    and event.replay_no >= self.replay_budget:
+                # The platform is out of replay windows: salvage the
+                # partial window and let the victim run free.
+                windows.append(set(majority_lines(replay_hits)))
+                replay_hits.clear()
+                return ReplayDecision(ReplayAction.RELEASE,
+                                      extra_cost=cost)
             if state["replay"] < self.replays_per_iteration:
                 return ReplayDecision(ReplayAction.REPLAY,
                                       extra_cost=cost)

@@ -15,8 +15,9 @@ page-fault replays of the main attack.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
+from repro.config import MachineConfig
 from repro.core.replayer import AttackEnvironment, Replayer
 from repro.isa.instructions import Opcode
 from repro.sgx.enclave import EnclaveConfig
@@ -39,14 +40,19 @@ class MispredictReplayResult:
         return self.mul_issues >= 2 and self.div_issues >= 2
 
 
+@dataclass
 class MispredictReplayAttack:
     """Measure the replays obtainable from one primed misprediction."""
+
+    #: Machine-level defense knobs (``None`` = stock platform).
+    machine: Optional[MachineConfig] = None
 
     def run(self, secret: int, primed_taken: bool
             ) -> MispredictReplayResult:
         # No predictor flush: the attacker's priming must survive into
         # the victim's execution (the [33]-style setup).
-        rep = Replayer(AttackEnvironment.build())
+        rep = Replayer(AttackEnvironment.build(
+            machine_config=self.machine))
         victim_proc = rep.create_victim_process(
             "victim",
             enclave_config=EnclaveConfig(
@@ -82,7 +88,9 @@ class MispredictReplayAttack:
             replayed_instructions=ctx.stats.replays)
 
 
-def infer_secret_by_priming(secret: int) -> Dict[str, object]:
+def infer_secret_by_priming(
+        secret: int,
+        machine: Optional[MachineConfig] = None) -> Dict[str, object]:
     """The §4.2.3 inference: with the predictor in a known state,
     *whether a misprediction happens* reveals ``secret == prediction``.
 
@@ -90,7 +98,7 @@ def infer_secret_by_priming(secret: int) -> Dict[str, object]:
     units fire means a misprediction, i.e. the secret was the mul
     side.  Returns the attacker's guess and the evidence.
     """
-    attack = MispredictReplayAttack()
+    attack = MispredictReplayAttack(machine=machine)
     result = attack.run(secret, primed_taken=True)
     misprediction_observed = result.both_paths_observed
     guessed_secret = 0 if misprediction_observed else 1

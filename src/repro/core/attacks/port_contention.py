@@ -16,6 +16,7 @@ latency sample, the threshold, and the above-threshold counts.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -28,7 +29,6 @@ from repro.core.recipes import (
 )
 from repro.core.module import MicroScopeConfig
 from repro.core.replayer import AttackEnvironment, Replayer
-from repro.cpu.config import CoreConfig
 from repro.config import MachineConfig
 from repro.snapshot import warm_start
 from repro.victims.control_flow import setup_control_flow_victim
@@ -70,10 +70,20 @@ class PortContentionAttack:
     divisions: int = 2
     multiplications: int = 2
     max_cycles: int = 50_000_000
+    #: Machine-level defense knobs; merged with the attack's own
+    #: ``rdtsc_jitter`` (which models the Monitor's timer, not a
+    #: defense).  ``None`` = stock platform.
+    machine: Optional[MachineConfig] = None
+    #: Cap on replay windows the platform grants before the handle is
+    #: released (T-SGX / Déjà-Vu style budgets).
+    replay_budget: Optional[int] = None
 
     def _build_environment(self) -> Replayer:
-        machine_config = MachineConfig(core=CoreConfig(
-            rdtsc_jitter=self.rdtsc_jitter))
+        base = self.machine if self.machine is not None \
+            else MachineConfig()
+        machine_config = dataclasses.replace(
+            base, core=dataclasses.replace(
+                base.core, rdtsc_jitter=self.rdtsc_jitter))
         env = AttackEnvironment.build(
             machine_config=machine_config,
             module_config=MicroScopeConfig(
@@ -82,7 +92,7 @@ class PortContentionAttack:
 
     def _machine_key(self) -> tuple:
         return (self.fault_handler_cost, self.rdtsc_jitter,
-                self.divs_per_sample)
+                self.divs_per_sample, repr(self.machine))
 
     def _build_calibration_environment(self, samples: int):
         rep = self._build_environment()
@@ -139,6 +149,10 @@ class PortContentionAttack:
         def attack_fn(event) -> ReplayDecision:
             # Keep replaying until the Monitor's buffer is full; then
             # let the victim make forward progress (§4.1.4 step 6).
+            # A budgeted platform forces the release early.
+            if self.replay_budget is not None \
+                    and event.replay_no >= self.replay_budget:
+                return ReplayDecision(ReplayAction.RELEASE)
             if monitor_ctx.finished():
                 return ReplayDecision(ReplayAction.RELEASE)
             return ReplayDecision(ReplayAction.REPLAY)

@@ -139,10 +139,15 @@ class SecretIdExtractionAttack:
 
     replays: int = 3
     num_secrets: int = 256     # 16 cache lines of 8-byte floats
+    #: Machine-level defense knobs (``None`` = stock platform).
+    machine: Optional[MachineConfig] = None
+    #: Replay windows the platform grants before forcing release.
+    replay_budget: Optional[int] = None
 
     def run(self, secret_id: int) -> SecretIdResult:
         from repro.core.analysis import classify_hits, majority_lines
-        rep = Replayer(AttackEnvironment.build())
+        rep = Replayer(AttackEnvironment.build(
+            machine_config=self.machine))
         victim_proc = rep.create_victim_process("victim")
         secrets = [1.0] * self.num_secrets
         victim = setup_single_secret_victim(
@@ -153,6 +158,8 @@ class SecretIdExtractionAttack:
         module = rep.module
         threshold = rep.machine.hierarchy.hit_latency(1)
         observed = []
+        limit = self.replays if self.replay_budget is None \
+            else min(self.replays, self.replay_budget)
 
         def attack_fn(event) -> ReplayDecision:
             hits = classify_hits(
@@ -160,7 +167,7 @@ class SecretIdExtractionAttack:
                 threshold)
             observed.append(hits)
             cost = module.prime_lines(victim_proc, probe_addrs)
-            if event.replay_no >= self.replays:
+            if event.replay_no >= limit:
                 return ReplayDecision(ReplayAction.RELEASE,
                                       extra_cost=cost)
             return ReplayDecision(ReplayAction.REPLAY, extra_cost=cost)

@@ -1,0 +1,66 @@
+"""Attack × defense evaluation: the matrix behind ``docs/RESULTS.md``.
+
+This package runs every registered attack against every registered
+defense configuration (including the undefended ``"none"`` column)
+and classifies each cell as ``defeated`` / ``degraded`` /
+``unaffected`` — the reproduction of the paper's §8 argument that
+MicroScope survives the deployed mitigations.  See
+``docs/DEFENSES.md`` for the defense models and
+``python -m repro.tools.results`` for the generated artifacts.
+
+Typical use::
+
+    from repro.evaluation import MatrixRunner
+
+    matrix = MatrixRunner(
+        attacks=("cf-cache", "controlled-channel"),
+        defenses=("none", "fences", "pf-oblivious"),
+    ).run()
+    print(matrix.summary_markdown())
+"""
+
+from repro.evaluation.attacks import (
+    ATTACKS,
+    AttackSpec,
+    attack_names,
+    get_attack,
+)
+from repro.evaluation.classify import (
+    CLASSIFICATIONS,
+    EPSILON,
+    CellMetrics,
+    classify_cell,
+)
+from repro.evaluation.defenses import (
+    DEFENSES,
+    DefenseSpec,
+    defense_names,
+    get_defense,
+)
+from repro.evaluation.matrix import (
+    DEFAULT_LABEL,
+    DEFAULT_MASTER_SEED,
+    EvaluationMatrix,
+    MatrixCell,
+    MatrixRunner,
+)
+
+__all__ = [
+    "ATTACKS",
+    "AttackSpec",
+    "CLASSIFICATIONS",
+    "CellMetrics",
+    "DEFAULT_LABEL",
+    "DEFAULT_MASTER_SEED",
+    "DEFENSES",
+    "DefenseSpec",
+    "EPSILON",
+    "EvaluationMatrix",
+    "MatrixCell",
+    "MatrixRunner",
+    "attack_names",
+    "classify_cell",
+    "defense_names",
+    "get_attack",
+    "get_defense",
+]

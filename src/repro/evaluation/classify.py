@@ -1,0 +1,133 @@
+"""Cell metrics and the defeated / degraded / unaffected verdict.
+
+Every cell of the attack × defense matrix reduces to one
+:class:`CellMetrics` — leak accuracy against chance, replay windows
+consumed, whether a detection-based defense raised its flag — and
+:func:`classify_cell` turns that into the verdict the paper's §8
+discussion is about:
+
+``defeated``
+    the attack no longer beats random guessing (or it crashed
+    outright under the defense);
+``degraded``
+    it still leaks, but measurably worse than against the undefended
+    baseline — or the defense detected it;
+``unaffected``
+    the defense changed nothing the attacker cares about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+#: The three possible verdicts, in increasing order of attacker joy.
+CLASSIFICATIONS: Tuple[str, ...] = ("defeated", "degraded",
+                                    "unaffected")
+
+#: Accuracy margin treated as noise: a leak within ``EPSILON`` of
+#: chance is no leak, and a drop within ``EPSILON`` of the baseline
+#: is no degradation.
+EPSILON = 0.1
+
+
+def _clean(value: Any) -> Any:
+    """Normalise *value* for deterministic JSON: sort dict keys,
+    round floats, stringify everything else exotic."""
+    if isinstance(value, dict):
+        return {str(k): _clean(value[k])
+                for k in sorted(value, key=str)}
+    if isinstance(value, (list, tuple)):
+        return [_clean(v) for v in value]
+    if isinstance(value, float):
+        return round(value, 6)
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+@dataclass
+class CellMetrics:
+    """What one (attack, defense) cell measured.
+
+    ``accuracy is None`` means the attack produced no estimate at all
+    (it crashed, or the defense terminated the victim); ``error``
+    carries the reason when there is one.  Wall-clock time is
+    deliberately absent: cells must serialise bit-identically across
+    runs and worker counts.
+    """
+
+    #: Leak accuracy over the cell's trials, in [0, 1]; None = no
+    #: estimate (error / terminated victim).
+    accuracy: Optional[float] = None
+    #: Probability of guessing right with no side channel at all.
+    chance: float = 0.5
+    #: Number of ground-truth trials behind ``accuracy``.
+    trials: int = 0
+    #: Replay windows the attacker consumed (max across trials).
+    replays: int = 0
+    #: A detection-based defense (Déjà Vu) raised its flag.
+    detected: bool = False
+    #: Why there is no accuracy, when there isn't.
+    error: Optional[str] = None
+    #: Free-form caveats rendered into the results doc.
+    notes: Tuple[str, ...] = ()
+    #: Per-trial diagnostics (JSON-cleaned on serialisation).
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def leak_margin(self) -> Optional[float]:
+        """Accuracy above chance, the thing defenses try to erase."""
+        if self.accuracy is None:
+            return None
+        return self.accuracy - self.chance
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Deterministic JSON-ready form (sorted keys, rounded
+        floats, no timestamps)."""
+        return {
+            "accuracy": None if self.accuracy is None
+            else round(self.accuracy, 6),
+            "chance": round(self.chance, 6),
+            "detail": _clean(self.detail),
+            "detected": self.detected,
+            "error": self.error,
+            "notes": list(self.notes),
+            "replays": self.replays,
+            "trials": self.trials,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "CellMetrics":
+        """Inverse of :meth:`to_dict` (detail stays JSON-shaped)."""
+        return cls(
+            accuracy=payload.get("accuracy"),
+            chance=payload.get("chance", 0.5),
+            trials=payload.get("trials", 0),
+            replays=payload.get("replays", 0),
+            detected=payload.get("detected", False),
+            error=payload.get("error"),
+            notes=tuple(payload.get("notes", ())),
+            detail=dict(payload.get("detail", {})))
+
+
+def classify_cell(cell: CellMetrics,
+                  baseline: Optional[CellMetrics] = None,
+                  *, epsilon: float = EPSILON) -> str:
+    """Classify one cell against its undefended baseline.
+
+    *baseline* is the same attack's ``"none"`` cell (pass ``None``
+    when the matrix has no undefended column); *epsilon* is the
+    accuracy margin treated as noise.
+    """
+    if cell.error is not None or cell.accuracy is None:
+        return "defeated"
+    margin = cell.accuracy - cell.chance
+    if margin <= epsilon:
+        return "defeated"
+    if cell.detected:
+        return "degraded"
+    if baseline is not None and baseline.accuracy is not None \
+            and cell.accuracy < baseline.accuracy - epsilon:
+        return "degraded"
+    return "unaffected"

@@ -1,0 +1,134 @@
+"""The defense configurations a matrix column stands for.
+
+Each §8 countermeasure acts on the attacks through one (or more) of
+three *mechanism-level* levers, so the attack code never has to know
+which defense it is facing:
+
+* a **machine configuration** (fences: ``CoreConfig.fence_on_flush``);
+* a **replay budget** — how many squash-and-refetch windows the
+  platform grants before the victim makes forward progress (T-SGX's
+  ``N - 1``; Déjà Vu's masking bound ``budget_ticks // fault_cost``,
+  the most an attacker can replay while staying indistinguishable
+  from benign demand paging);
+* a **victim transform** (T-SGX transaction wrapping, the
+  PF-oblivious rewrite) — only meaningful for attacks that observe
+  the victim's program shape, i.e. the controlled-channel baseline.
+
+Déjà Vu additionally *detects*: :meth:`DefenseSpec.detected` flags a
+cell whose replay count would have blown the reference-clock budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.config import MachineConfig
+from repro.cpu.config import CoreConfig
+from repro.defenses.tsgx import TSGX_THRESHOLD
+
+#: Déjà Vu's reference-clock budget and the cost one replay (≈ one
+#: page fault) adds to the timed region — the §8 masking arithmetic.
+DEJAVU_BUDGET_TICKS = 12_000
+DEJAVU_FAULT_COST = 3_000
+
+
+@dataclass(frozen=True)
+class DefenseSpec:
+    """One matrix column: a defense reduced to mechanism knobs."""
+
+    name: str
+    #: One-line description for the generated docs.
+    summary: str
+    #: Where the paper discusses it.
+    paper_ref: str
+    #: Machine-level knobs the defense flips (None = stock platform).
+    machine: Optional[MachineConfig] = None
+    #: Replay windows the platform grants (None = unbounded).
+    replay_budget: Optional[int] = None
+    #: Victim rewrite the defense mandates: "tsgx" | "oblivious".
+    victim_transform: Optional[str] = None
+    #: The defense watches a reference clock and can raise a flag.
+    detects: bool = False
+    budget_ticks: Optional[int] = None
+    fault_cost: Optional[int] = None
+    #: Caveats propagated into every cell of this column.
+    notes: Tuple[str, ...] = ()
+
+    def detected(self, replays: int) -> bool:
+        """Would *replays* windows have blown the detection budget?"""
+        if not self.detects or not self.fault_cost \
+                or self.budget_ticks is None:
+            return False
+        return replays * self.fault_cost > self.budget_ticks
+
+
+def _specs() -> Dict[str, DefenseSpec]:
+    fences = MachineConfig(core=CoreConfig(fence_on_flush=True))
+    return {spec.name: spec for spec in (
+        DefenseSpec(
+            name="none",
+            summary="Undefended baseline platform.",
+            paper_ref="§6"),
+        DefenseSpec(
+            name="fences",
+            summary="Serialising fence after every pipeline flush: "
+                    "replayed code cannot run ahead of the faulting "
+                    "handle.",
+            paper_ref="§8 'Fences on Pipeline Flushes'",
+            machine=fences,
+            notes=("first (pre-flush) speculative window still "
+                   "executes",)),
+        DefenseSpec(
+            name="dejavu",
+            summary="Déjà Vu reference clock; attacker plays the "
+                    "masking strategy and stays under the budget.",
+            paper_ref="§8 'Déjà Vu'",
+            replay_budget=DEJAVU_BUDGET_TICKS // DEJAVU_FAULT_COST,
+            detects=True,
+            budget_ticks=DEJAVU_BUDGET_TICKS,
+            fault_cost=DEJAVU_FAULT_COST,
+            notes=("attacker restricted to the masking budget of "
+                   f"{DEJAVU_BUDGET_TICKS // DEJAVU_FAULT_COST} "
+                   "replays; clock-thread starvation (§8) not "
+                   "modelled",)),
+        DefenseSpec(
+            name="tsgx",
+            summary="T-SGX transaction wrapping: page faults abort "
+                    "without notifying the OS; the fallback "
+                    "terminates after N failed transactions.",
+            paper_ref="§8 'Page Fault Protection Schemes'",
+            replay_budget=TSGX_THRESHOLD - 1,
+            victim_transform="tsgx",
+            notes=(f"N-1 = {TSGX_THRESHOLD - 1} replay windows "
+                   "remain before termination (the paper's "
+                   "observation)",)),
+        DefenseSpec(
+            name="pf-oblivious",
+            summary="PF-oblivious rewrite: both branch sides touch "
+                    "the same pages, erasing the fault-sequence "
+                    "signal.",
+            paper_ref="§8 'Page Fault Protection Schemes'",
+            victim_transform="oblivious",
+            notes=("adds memory accesses, i.e. *more* replay "
+                   "handles for MicroScope (§8)",)),
+    )}
+
+
+#: Registry of every defense column, in canonical matrix order.
+DEFENSES: Dict[str, DefenseSpec] = _specs()
+
+
+def defense_names() -> Tuple[str, ...]:
+    """Canonical column order, baseline first."""
+    return tuple(DEFENSES)
+
+
+def get_defense(name: str) -> DefenseSpec:
+    """Look up a registered defense; raises ``KeyError`` with the
+    valid names otherwise."""
+    try:
+        return DEFENSES[name]
+    except KeyError:
+        raise KeyError(f"unknown defense {name!r}; registered: "
+                       f"{', '.join(DEFENSES)}") from None

@@ -1,0 +1,235 @@
+"""The attack × defense matrix runner.
+
+The whole matrix is *one* resilient sweep: each (attack, defense)
+cell is a trial, executed through the :class:`repro.Experiment`
+facade, so per-cell seeds, ``FaultPolicy`` retries, journalled resume
+and worker-count-invariant merges all come from the existing
+machinery.  Trial parameters are plain ``(attack, defense,
+overrides)`` tuples of strings and dicts — registries are resolved
+inside the trial — so cells pickle, journal and replay cleanly.
+
+Classification happens in the parent against the same attack's
+``"none"`` cell, producing the §8 verdict per cell: ``defeated`` /
+``degraded`` / ``unaffected``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.evaluation.attacks import attack_names, get_attack
+from repro.evaluation.classify import CellMetrics, classify_cell
+from repro.evaluation.defenses import defense_names, get_defense
+from repro.experiment import Experiment
+from repro.harness import FaultPolicy, derive_seed
+from repro.harness.chaos import ChaosPlan
+
+#: Fixed master seed of the published results (the paper's year).
+DEFAULT_MASTER_SEED = 2019
+
+#: Default sweep label — part of the seed lineage, so changing it
+#: changes every cell's seed.
+DEFAULT_LABEL = "evaluation-matrix"
+
+
+def _cell_trial(params: Any, seed: int) -> Dict[str, Any]:
+    """One matrix cell as a harness trial (module-level so worker
+    pools can pickle it).  Attack exceptions become ``error`` metrics
+    rather than trial faults: a defense that *crashes* the attack is
+    a deterministic result (the attack is defeated), not a flaky
+    worker worth retrying."""
+    attack_name, defense_name, overrides = params
+    spec = get_attack(attack_name)
+    defense = get_defense(defense_name)
+    try:
+        metrics = spec.runner(defense, dict(overrides or {}))
+    except Exception as exc:  # noqa: BLE001 - defense may break the attack
+        metrics = CellMetrics(
+            error=f"{type(exc).__name__}: {exc}", chance=spec.chance)
+    if defense.notes:
+        metrics.notes = tuple(metrics.notes) + tuple(defense.notes)
+    return metrics.to_dict()
+
+
+@dataclass
+class MatrixCell:
+    """One evaluated (attack, defense) pair."""
+
+    attack: str
+    defense: str
+    metrics: CellMetrics
+    #: ``defeated`` / ``degraded`` / ``unaffected``.
+    classification: str = "defeated"
+    #: The exact seed the cell's trial ran with (resume-proof).
+    seed: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Deterministic JSON-ready form."""
+        return {
+            "attack": self.attack,
+            "classification": self.classification,
+            "defense": self.defense,
+            "metrics": self.metrics.to_dict(),
+            "seed": self.seed,
+        }
+
+
+@dataclass
+class EvaluationMatrix:
+    """The classified cross-product, plus rendering helpers."""
+
+    master_seed: int
+    label: str
+    attacks: Tuple[str, ...]
+    defenses: Tuple[str, ...]
+    cells: Dict[Tuple[str, str], MatrixCell]
+
+    def cell(self, attack: str, defense: str) -> MatrixCell:
+        """The cell for one (attack, defense) pair."""
+        return self.cells[(attack, defense)]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Deterministic JSON payload (sorted cell keys)."""
+        return {
+            "attacks": list(self.attacks),
+            "cells": {f"{a}/{d}": self.cells[(a, d)].to_dict()
+                      for a, d in sorted(self.cells)},
+            "defenses": list(self.defenses),
+            "label": self.label,
+            "master_seed": self.master_seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]
+                  ) -> "EvaluationMatrix":
+        """Rebuild a matrix from :meth:`to_dict` output."""
+        cells: Dict[Tuple[str, str], MatrixCell] = {}
+        for key, cell in payload["cells"].items():
+            attack, defense = key.split("/", 1)
+            cells[(attack, defense)] = MatrixCell(
+                attack=attack, defense=defense,
+                metrics=CellMetrics.from_dict(cell["metrics"]),
+                classification=cell["classification"],
+                seed=cell["seed"])
+        return cls(master_seed=payload["master_seed"],
+                   label=payload["label"],
+                   attacks=tuple(payload["attacks"]),
+                   defenses=tuple(payload["defenses"]),
+                   cells=cells)
+
+    # --- rendering -----------------------------------------------------
+
+    def _cell_label(self, attack: str, defense: str) -> str:
+        cell = self.cells[(attack, defense)]
+        if defense == "none":
+            if cell.metrics.accuracy is None:
+                return "error"
+            return f"leaks ({cell.metrics.accuracy:.2f})"
+        return cell.classification
+
+    def summary_rows(self) -> List[List[str]]:
+        """Header + one row per attack, for table renderers."""
+        header = ["attack"] + list(self.defenses)
+        rows = [header]
+        for attack in self.attacks:
+            rows.append([attack] + [self._cell_label(attack, d)
+                                    for d in self.defenses])
+        return rows
+
+    def summary_markdown(self) -> str:
+        """The verdict table as GitHub markdown."""
+        rows = self.summary_rows()
+        lines = ["| " + " | ".join(rows[0]) + " |",
+                 "|" + "---|" * len(rows[0])]
+        lines += ["| " + " | ".join(row) + " |" for row in rows[1:]]
+        return "\n".join(lines)
+
+    def detail_markdown(self) -> str:
+        """Per-cell accuracy / replays / notes as markdown."""
+        lines = ["| attack | defense | class | accuracy | chance "
+                 "| replays | detected | notes |",
+                 "|---|---|---|---|---|---|---|---|"]
+        for attack in self.attacks:
+            for defense in self.defenses:
+                cell = self.cells[(attack, defense)]
+                m = cell.metrics
+                acc = "—" if m.accuracy is None \
+                    else f"{m.accuracy:.2f}"
+                notes = "; ".join(m.notes)
+                if m.error:
+                    notes = f"error: {m.error}" + \
+                        (f"; {notes}" if notes else "")
+                lines.append(
+                    f"| {attack} | {defense} "
+                    f"| {cell.classification} | {acc} "
+                    f"| {m.chance:.3f} | {m.replays} "
+                    f"| {'yes' if m.detected else 'no'} "
+                    f"| {notes} |")
+        return "\n".join(lines)
+
+
+@dataclass
+class MatrixRunner:
+    """Configure and execute the matrix sweep."""
+
+    #: Rows/columns to run; empty = every registered one.
+    attacks: Sequence[str] = ()
+    defenses: Sequence[str] = ()
+    #: Per-attack runner overrides, e.g.
+    #: ``{"port-contention": {"measurements": 400}}``.
+    overrides: Mapping[str, Mapping[str, Any]] = field(
+        default_factory=dict)
+    master_seed: int = DEFAULT_MASTER_SEED
+    label: str = DEFAULT_LABEL
+    workers: Optional[int] = None
+    policy: Optional[FaultPolicy] = None
+    chaos: Optional[ChaosPlan] = None
+    #: Journal path (or ``SweepJournal``) for resumable matrices.
+    journal: Any = None
+    metrics: Any = None
+    tracer: Any = None
+
+    def _axes(self) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+        attacks = tuple(self.attacks) or attack_names()
+        defenses = tuple(self.defenses) or defense_names()
+        for name in attacks:
+            get_attack(name)
+        for name in defenses:
+            get_defense(name)
+        return attacks, defenses
+
+    def run(self) -> EvaluationMatrix:
+        """Execute every cell and classify against the baselines."""
+        attacks, defenses = self._axes()
+        params = [(a, d, dict(self.overrides.get(a, {})))
+                  for a in attacks for d in defenses]
+        report = Experiment(
+            trial=_cell_trial, sweep=params,
+            master_seed=self.master_seed, label=self.label,
+            workers=self.workers, policy=self.policy,
+            chaos=self.chaos, journal=self.journal,
+            metrics=self.metrics, tracer=self.tracer).run()
+
+        cells: Dict[Tuple[str, str], MatrixCell] = {}
+        for index, ((attack, defense, _), payload) in enumerate(
+                zip(params, report.results)):
+            if payload is None:
+                metrics = CellMetrics(
+                    error="trial skipped by fault policy",
+                    chance=get_attack(attack).chance)
+            else:
+                metrics = CellMetrics.from_dict(payload)
+            cells[(attack, defense)] = MatrixCell(
+                attack=attack, defense=defense, metrics=metrics,
+                seed=derive_seed(self.master_seed, index,
+                                 self.label))
+        for (attack, defense), cell in cells.items():
+            baseline = cells.get((attack, "none"))
+            cell.classification = classify_cell(
+                cell.metrics,
+                baseline.metrics if baseline is not None
+                and defense != "none" else None)
+        return EvaluationMatrix(
+            master_seed=self.master_seed, label=self.label,
+            attacks=attacks, defenses=defenses, cells=cells)

@@ -82,6 +82,7 @@ class ExperimentReport:
 
     @property
     def wall_seconds(self) -> float:
+        """Host seconds the sweep took (0.0 when nothing ran)."""
         return self.report.wall_seconds if self.report else 0.0
 
     def to_dict(self) -> Dict[str, Any]:

@@ -1,8 +1,9 @@
 """Export / check the public API surface.
 
 The surface is everything promoted into ``repro.__all__`` (plus
-``repro.config.__all__`` and ``repro.harness.__all__``, the two
-secondary entry points the docs commit to), with enough shape
+``repro.config.__all__``, ``repro.harness.__all__`` and
+``repro.evaluation.__all__``, the secondary entry points the docs
+commit to), with enough shape
 information to catch accidental breaks: the kind of each export and,
 for callables, the full signature string.
 
@@ -31,7 +32,8 @@ SNAPSHOT_PATH = (Path(__file__).resolve().parents[3]
                  / "tests" / "api" / "api_surface.json")
 
 #: Modules whose ``__all__`` constitutes the public surface.
-PUBLIC_MODULES = ("repro", "repro.config", "repro.harness")
+PUBLIC_MODULES = ("repro", "repro.config", "repro.harness",
+                  "repro.evaluation")
 
 
 def _describe(obj: Any) -> Dict[str, str]:
@@ -92,6 +94,7 @@ def diff_surface(expected: Dict, actual: Dict) -> list:
 
 
 def main(argv=None) -> int:
+    """CLI entry point: print, ``--update`` or ``--check`` the surface."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     mode = parser.add_mutually_exclusive_group()
     mode.add_argument("--check", action="store_true",

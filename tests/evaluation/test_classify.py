@@ -1,0 +1,108 @@
+"""Cell-classification edge cases: the defeated / degraded /
+unaffected rules the results doc stands on."""
+
+import pytest
+
+from repro.evaluation import CellMetrics, classify_cell
+from repro.evaluation.classify import CLASSIFICATIONS, EPSILON, _clean
+
+
+def _baseline(accuracy=1.0, chance=0.5):
+    return CellMetrics(accuracy=accuracy, chance=chance, trials=4)
+
+
+def test_zero_leak_is_defeated():
+    cell = CellMetrics(accuracy=0.5, chance=0.5, trials=4)
+    assert classify_cell(cell, _baseline()) == "defeated"
+
+
+def test_below_chance_is_defeated():
+    cell = CellMetrics(accuracy=0.25, chance=0.5, trials=4)
+    assert classify_cell(cell, _baseline()) == "defeated"
+
+
+def test_margin_exactly_epsilon_is_defeated():
+    cell = CellMetrics(accuracy=0.5 + EPSILON, chance=0.5)
+    assert classify_cell(cell, _baseline()) == "defeated"
+
+
+def test_no_estimate_is_defeated():
+    cell = CellMetrics(accuracy=None, chance=0.5)
+    assert classify_cell(cell, _baseline()) == "defeated"
+
+
+def test_defense_raised_is_defeated():
+    # an attack that crashes under a defense carries the exception in
+    # `error`; even a nominally perfect accuracy cannot rescue it
+    cell = CellMetrics(accuracy=1.0, chance=0.5,
+                       error="RuntimeError: victim terminated")
+    assert classify_cell(cell, _baseline()) == "defeated"
+
+
+def test_partial_leak_is_degraded():
+    cell = CellMetrics(accuracy=0.75, chance=0.5, trials=4)
+    assert classify_cell(cell, _baseline(accuracy=1.0)) == "degraded"
+
+
+def test_detection_is_degraded_even_at_full_accuracy():
+    cell = CellMetrics(accuracy=1.0, chance=0.5, detected=True)
+    assert classify_cell(cell, _baseline()) == "degraded"
+
+
+def test_drop_within_epsilon_is_unaffected():
+    cell = CellMetrics(accuracy=1.0 - EPSILON, chance=0.5)
+    assert classify_cell(cell, _baseline(accuracy=1.0)) == "unaffected"
+
+
+def test_full_accuracy_without_baseline_is_unaffected():
+    cell = CellMetrics(accuracy=1.0, chance=0.5)
+    assert classify_cell(cell, None) == "unaffected"
+
+
+def test_baseline_without_estimate_cannot_degrade():
+    cell = CellMetrics(accuracy=0.8, chance=0.5)
+    assert classify_cell(cell, _baseline(accuracy=None)) == "unaffected"
+
+
+def test_custom_epsilon():
+    cell = CellMetrics(accuracy=0.7, chance=0.5)
+    assert classify_cell(cell, _baseline(), epsilon=0.3) == "defeated"
+    assert classify_cell(cell, _baseline(), epsilon=0.05) == "degraded"
+
+
+def test_all_verdicts_are_registered():
+    cases = [
+        classify_cell(CellMetrics(accuracy=0.5, chance=0.5)),
+        classify_cell(CellMetrics(accuracy=1.0, detected=True)),
+        classify_cell(CellMetrics(accuracy=1.0)),
+    ]
+    assert set(cases) == set(CLASSIFICATIONS)
+
+
+def test_leak_margin():
+    assert CellMetrics(accuracy=0.9, chance=0.5).leak_margin \
+        == pytest.approx(0.4)
+    assert CellMetrics(accuracy=None).leak_margin is None
+
+
+def test_to_dict_round_trip_and_determinism():
+    cell = CellMetrics(accuracy=1 / 3, chance=1 / 16, trials=3,
+                       replays=12, detected=True, notes=("a", "b"),
+                       detail={"z": 1.23456789, "a": {"k": (1, 2)}})
+    payload = cell.to_dict()
+    assert payload == cell.to_dict()
+    assert list(payload) == sorted(payload)
+    assert payload["accuracy"] == round(1 / 3, 6)
+    # detail keys come out sorted and floats rounded
+    assert list(payload["detail"]) == ["a", "z"]
+    assert payload["detail"]["z"] == round(1.23456789, 6)
+
+    rebuilt = CellMetrics.from_dict(payload)
+    assert rebuilt.to_dict() == payload
+    assert rebuilt.notes == ("a", "b")
+
+
+def test_clean_stringifies_exotic_values():
+    cleaned = _clean({"obj": object, 3: "int-key"})
+    assert set(cleaned) == {"obj", "3"}
+    assert isinstance(cleaned["obj"], str)

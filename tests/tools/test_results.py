@@ -1,0 +1,82 @@
+"""The results generator: deterministic artifacts, claim handling,
+and the README block machinery."""
+
+import pytest
+
+from repro.tools import results
+
+
+@pytest.fixture(scope="module")
+def restricted_matrix():
+    return results.run_matrix(attacks=("cf-cache",),
+                              defenses=("none", "fences"))
+
+
+def test_restricted_matrix_is_deterministic_across_workers(
+        restricted_matrix):
+    again = results.run_matrix(attacks=("cf-cache",),
+                               defenses=("none", "fences"),
+                               workers=2)
+    assert again.to_dict() == restricted_matrix.to_dict()
+
+
+def test_fig10_claim_skips_when_cell_absent(restricted_matrix):
+    claim = results.check_fig10_separation(restricted_matrix)
+    assert claim["passed"] is None
+    assert "not in this matrix" in claim["detail"]["reason"]
+
+
+def test_replay_count_claim_is_exact():
+    claim = results.check_replay_counts()
+    assert claim["passed"] is True
+    observed = claim["detail"]["requested_vs_observed"]
+    assert observed == {str(n): n for n in results.REPLAY_COUNTS}
+
+
+def test_payload_is_stable_and_versioned(restricted_matrix):
+    claims = [results.check_fig10_separation(restricted_matrix)]
+    payload = results.build_payload(restricted_matrix, claims)
+    assert payload == results.build_payload(restricted_matrix, claims)
+    assert payload["version"] == results.RESULTS_VERSION
+    assert payload["matrix"]["master_seed"] == 2019
+
+
+def test_render_results_md_is_deterministic(restricted_matrix):
+    claims = [results.check_fig10_separation(restricted_matrix)]
+    doc = results.render_results_md(restricted_matrix, claims)
+    assert doc == results.render_results_md(restricted_matrix, claims)
+    assert "| cf-cache |" in doc
+    assert "skipped" in doc  # the fig10 claim above has passed=None
+
+
+def test_readme_block_round_trip(restricted_matrix):
+    block = results.readme_block(restricted_matrix)
+    readme = ("# title\n\nintro\n\n"
+              f"{results.README_BEGIN}\nstale\n{results.README_END}"
+              "\n\nfooter\n")
+    updated = results.apply_readme_block(readme, block)
+    assert "stale" not in updated
+    assert updated.startswith("# title")
+    assert updated.endswith("footer\n")
+    assert results.extract_readme_block(updated) == block
+    # applying the same block twice is a no-op
+    assert results.apply_readme_block(updated, block) == updated
+
+
+def test_readme_block_requires_markers():
+    with pytest.raises(ValueError):
+        results.apply_readme_block("no markers here", "block")
+
+
+def test_committed_artifacts_match_a_restricted_recheck():
+    """The committed results.json embeds the same cells a fresh run
+    of the cheap rows produces — a fast slice of CI's full
+    `--check`."""
+    import json
+    committed = json.loads(results.RESULTS_JSON_PATH.read_text())
+    fresh = results.run_matrix(attacks=("cf-cache",)).to_dict()
+    for key, cell in fresh["cells"].items():
+        committed_cell = committed["matrix"]["cells"][key]
+        assert committed_cell["metrics"] == cell["metrics"], key
+        assert committed_cell["classification"] \
+            == cell["classification"], key
