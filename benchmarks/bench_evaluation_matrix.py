@@ -5,11 +5,20 @@ Runs the `repro.evaluation` matrix — the machinery behind
 one column per defense, each cell classified defeated / degraded /
 unaffected against the attack's own undefended baseline.
 
+A second benchmark re-runs a sub-matrix against a warm
+content-addressed trial store (``repro.memo``) and asserts the cached
+pass is byte-identical to the cold one while being at least 5x
+faster — the wall-clock contract the memoization layer ships.
+
 At default scale the port-contention row runs with trimmed sample
 counts; ``REPRO_FULL_SCALE=1`` uses the `docs/RESULTS.md` defaults.
 """
 
+import json
+import time
+
 from repro.evaluation import MatrixRunner
+from repro.memo import TrialStore
 
 from conftest import emit, emit_json, full_scale, render_table
 
@@ -55,3 +64,56 @@ def test_evaluation_matrix(once):
     for attack in matrix.attacks:
         baseline = matrix.cell(attack, "none")
         assert baseline.metrics.error is None
+
+
+def test_evaluation_matrix_memoized(once, tmp_path):
+    """Cold vs warm-store sub-matrix: identical bytes, >=5x faster."""
+    overrides = {}
+    if not full_scale():
+        overrides = {"port-contention": {"measurements": 400,
+                                         "calibrate_samples": 300}}
+    store = TrialStore(tmp_path / "trial-cache")
+
+    def run_matrix():
+        runner = MatrixRunner(attacks=("cf-cache", "port-contention"),
+                              defenses=("none", "fences", "tsgx"),
+                              overrides=overrides, workers=1,
+                              store=store,
+                              label="bench-matrix-memoized")
+        matrix = runner.run()
+        return matrix, runner.last_run_report
+
+    def experiment():
+        t0 = time.perf_counter()
+        cold_matrix, cold_report = run_matrix()
+        cold_seconds = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm_matrix, warm_report = run_matrix()
+        warm_seconds = time.perf_counter() - t0
+        return (cold_matrix, cold_report, cold_seconds,
+                warm_matrix, warm_report, warm_seconds)
+
+    (cold_matrix, cold_report, cold_seconds,
+     warm_matrix, warm_report, warm_seconds) = once(experiment)
+    speedup = cold_seconds / max(warm_seconds, 1e-9)
+    cells = len(cold_matrix.attacks) * len(cold_matrix.defenses)
+
+    emit_json("evaluation_matrix_memoized", {
+        "cells": cells,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "speedup": speedup,
+        "cold_cache": cold_report.cache,
+        "warm_cache": warm_report.cache,
+    })
+
+    # The serialized artifact — what docs/results.json is built from —
+    # must be byte-identical with the cache on.
+    as_bytes = lambda m: json.dumps(  # noqa: E731
+        m.to_dict(), indent=2, sort_keys=True)
+    assert as_bytes(warm_matrix) == as_bytes(cold_matrix)
+    assert cold_report.cached_trials == 0
+    assert cold_report.cache["stores"] == cells
+    assert warm_report.cached_trials == cells
+    assert speedup >= 5.0, (
+        f"warm store pass only {speedup:.1f}x faster")

@@ -16,7 +16,9 @@ cycle-level simulator written from scratch:
 * :mod:`repro.defenses` -- the Section 8 countermeasures;
 * :mod:`repro.baselines` -- the Table-1 comparison attacks;
 * :mod:`repro.evaluation` -- the attack x defense matrix behind
-  ``docs/RESULTS.md``.
+  ``docs/RESULTS.md``;
+* :mod:`repro.memo` -- the two-level deterministic compute cache
+  (replay-window memoization + content-addressed trial store).
 
 The public surface is promoted to this top level (and snapshotted by
 ``tests/api/api_surface.json``), so everyday use is one import::
@@ -78,11 +80,19 @@ from repro.harness import (
     run_sweep,
 )
 from repro.kernel.kernel import KernelConfig
+from repro.memo import (
+    MemoConfig,
+    TrialStore,
+    Unmemoizable,
+    WindowMemo,
+    resolve_store,
+    trial_key,
+)
 from repro.observability import EventTracer, MetricsRegistry
 from repro.sgx.enclave import EnclaveConfig
-from repro.snapshot import MachineSnapshot, warm_start
+from repro.snapshot import MachineSnapshot, state_digest, warm_start
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AESCacheAttack",
@@ -107,6 +117,7 @@ __all__ = [
     "MachineSnapshot",
     "MatrixCell",
     "MatrixRunner",
+    "MemoConfig",
     "MetricsRegistry",
     "MicroScopeConfig",
     "ModExpExtractionAttack",
@@ -117,15 +128,21 @@ __all__ = [
     "SweepReport",
     "TLBConfig",
     "TLBHierarchyConfig",
+    "TrialStore",
+    "Unmemoizable",
+    "WindowMemo",
     "classify_cell",
     "default_workers",
     "derive_seed",
     "from_dict",
     "merge_ordered",
+    "resolve_store",
     "run_figure10",
     "run_resilient_sweep",
     "run_sweep",
+    "state_digest",
     "to_dict",
+    "trial_key",
     "warm_start",
     "__version__",
 ]

@@ -71,17 +71,31 @@ def _demo_defenses(args):
 
 def _demo_matrix(args):
     from repro.evaluation import MatrixRunner
+    from repro.memo import resolve_store
+    store = resolve_store(args.cache_dir, enabled=not args.no_cache)
     runner = MatrixRunner(
         attacks=tuple(args.attacks) if args.attacks else (),
         defenses=tuple(args.defenses) if args.defenses else (),
         overrides={"port-contention":
                    {"measurements": args.samples,
                     "calibrate_samples": max(200, args.samples // 2)}},
-        workers=args.workers)
+        workers=args.workers, store=store)
     matrix = runner.run()
     print(matrix.summary_markdown())
     print()
     print(matrix.detail_markdown())
+    report = runner.last_run_report
+    if store is not None and report is not None:
+        cache = report.cache
+        degraded = sum(cache.get(k, 0) for k in
+                       ("corrupt", "stale", "rejected"))
+        print()
+        print(f"trial cache [{store.root}]: "
+              f"{report.cached_trials} of {len(report.results)} cells "
+              f"served from cache ({cache.get('hits', 0)} hits, "
+              f"{cache.get('misses', 0)} misses, "
+              f"{cache.get('stores', 0)} stored, "
+              f"{degraded} degraded)")
 
 
 def main(argv=None) -> int:
@@ -109,6 +123,12 @@ def main(argv=None) -> int:
     matrix.add_argument("--samples", type=int, default=600,
                         help="port-contention Monitor samples")
     matrix.add_argument("--workers", type=int, default=None)
+    matrix.add_argument("--cache-dir", default=None,
+                        help="content-addressed trial cache directory "
+                             "(default: $REPRO_CACHE_DIR, else off)")
+    matrix.add_argument("--no-cache", action="store_true",
+                        help="disable the trial cache even if "
+                             "--cache-dir/$REPRO_CACHE_DIR is set")
     matrix.set_defaults(fn=_demo_matrix)
     args = parser.parse_args(argv)
     args.fn(args)

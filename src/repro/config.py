@@ -27,11 +27,12 @@ class                   defined in
 :class:`KernelConfig`   :mod:`repro.kernel.kernel` (lazy)
 :class:`EnclaveConfig`  :mod:`repro.sgx.enclave` (lazy)
 :class:`MicroScopeConfig`  :mod:`repro.core.module` (lazy)
+:class:`MemoConfig`     :mod:`repro.memo.store` (lazy)
 ======================  ============================================
 
-The last three are resolved lazily (PEP 562): they live in modules
-that transitively import :mod:`repro.cpu.machine`, and importing them
-eagerly here would close an import cycle.
+The last four are resolved lazily (PEP 562): they live in modules
+that transitively import :mod:`repro.cpu.machine` (or this module),
+and importing them eagerly here would close an import cycle.
 
 Serialisation
 -------------
@@ -72,11 +73,13 @@ class MachineConfig:
     num_frames: int = 1 << 16
 
 
-#: Configs importable lazily (their modules import repro.cpu.machine).
+#: Configs importable lazily (their modules import repro.cpu.machine,
+#: or — for MemoConfig — repro.config itself).
 _LAZY_CONFIGS = {
     "KernelConfig": "repro.kernel.kernel",
     "EnclaveConfig": "repro.sgx.enclave",
     "MicroScopeConfig": "repro.core.module",
+    "MemoConfig": "repro.memo.store",
 }
 
 #: Registry used by :func:`from_dict` to resolve ``"__config__"`` tags.
@@ -178,6 +181,7 @@ __all__ = [
     "HierarchyConfig",
     "KernelConfig",
     "MachineConfig",
+    "MemoConfig",
     "MicroScopeConfig",
     "PWCConfig",
     "PortConfig",

@@ -187,8 +187,18 @@ class MatrixRunner:
     chaos: Optional[ChaosPlan] = None
     #: Journal path (or ``SweepJournal``) for resumable matrices.
     journal: Any = None
+    #: Path or :class:`~repro.memo.store.TrialStore`: cells whose
+    #: content address (trial fn + params + seed) is already stored
+    #: load instead of recomputing.
+    store: Any = None
     metrics: Any = None
     tracer: Any = None
+    #: The :class:`~repro.experiment.ExperimentReport` of the last
+    #: :meth:`run` — cache hit/miss accounting lives here, *not* in
+    #: the :class:`EvaluationMatrix` (whose serialised form must stay
+    #: byte-identical whether or not a cache served it).
+    last_run_report: Any = field(default=None, init=False,
+                                 repr=False, compare=False)
 
     def _axes(self) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
         attacks = tuple(self.attacks) or attack_names()
@@ -209,7 +219,9 @@ class MatrixRunner:
             master_seed=self.master_seed, label=self.label,
             workers=self.workers, policy=self.policy,
             chaos=self.chaos, journal=self.journal,
-            metrics=self.metrics, tracer=self.tracer).run()
+            store=self.store, metrics=self.metrics,
+            tracer=self.tracer).run()
+        self.last_run_report = report
 
         cells: Dict[Tuple[str, str], MatrixCell] = {}
         for index, ((attack, defense, _), payload) in enumerate(

@@ -85,6 +85,22 @@ class ExperimentReport:
         """Host seconds the sweep took (0.0 when nothing ran)."""
         return self.report.wall_seconds if self.report else 0.0
 
+    @property
+    def cache(self) -> Dict[str, int]:
+        """Trial-store counter deltas (hits, misses, stores…) for
+        this run; empty when no store was attached."""
+        if self.report is None or self.report.cache is None:
+            return {}
+        return dict(self.report.cache)
+
+    @property
+    def cached_trials(self) -> int:
+        """How many trials were served from the content-addressed
+        store instead of running."""
+        if self.report is None:
+            return 0
+        return self.report.resolution_counts().get("cached", 0)
+
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready summary (results themselves are *not* included;
         they are arbitrary objects)."""
@@ -129,6 +145,9 @@ class Experiment:
     chaos: Optional[ChaosPlan] = None
     #: Path or :class:`~repro.harness.journal.SweepJournal` for resume.
     journal: Any = None
+    #: Path or :class:`~repro.memo.store.TrialStore`: the persistent
+    #: content-addressed trial cache (see :mod:`repro.memo`).
+    store: Any = None
 
     # --- observability ---------------------------------------------------
     metrics: Optional[MetricsRegistry] = None
@@ -210,7 +229,8 @@ class Experiment:
             trial_fn, params,
             master_seed=self.master_seed, workers=workers,
             label=self.label, policy=self.policy, chaos=self.chaos,
-            journal=self.journal, metrics=metrics, tracer=self.tracer)
+            journal=self.journal, store=self.store, metrics=metrics,
+            tracer=self.tracer)
         return ExperimentReport(label=self.label,
                                 results=sweep.results(),
                                 report=sweep.report, metrics=metrics)

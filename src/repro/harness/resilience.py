@@ -70,8 +70,10 @@ ATTEMPT_OUTCOMES = ("ok", "exception", "timeout", "crash", "corrupt",
                     "rejected")
 
 #: Trial resolutions: how each trial's slot in the merged results was
-#: ultimately filled.
-RESOLUTIONS = ("ok", "journal", "skipped", "defaulted", "failed")
+#: ultimately filled.  "cached" marks results served from a
+#: content-addressed :class:`~repro.memo.store.TrialStore`.
+RESOLUTIONS = ("ok", "journal", "cached", "skipped", "defaulted",
+               "failed")
 
 
 class _Skipped:
@@ -203,6 +205,10 @@ class SweepReport:
     workers: int
     trials: List[TrialReport]
     wall_seconds: float
+    #: Trial-store counter deltas for this sweep (hits, misses,
+    #: stores, corrupt, stale, rejected, uncacheable, bytes), or
+    #: ``None`` when no store was attached.
+    cache: Optional[Dict[str, int]] = None
 
     @property
     def attempts_total(self) -> int:
@@ -238,6 +244,7 @@ class SweepReport:
             "retries_total": self.retries_total,
             "failures": self.outcome_counts(),
             "resolutions": self.resolution_counts(),
+            "cache": self.cache,
             "trials": [t.to_dict() for t in self.trials],
         }
 
@@ -256,6 +263,8 @@ class SweepReport:
         for resolution, count in self.resolution_counts().items():
             metrics.counter(
                 f"{base}.resolutions.{resolution}").inc(count)
+        for name, count in (self.cache or {}).items():
+            metrics.counter(f"{base}.cache.{name}").inc(count)
         metrics.gauge(f"{base}.wall_seconds").set(
             round(self.wall_seconds, 6))
 
@@ -678,6 +687,21 @@ def _run_inline(trial_fn: TrialFn, todo: Sequence[Trial], *,
 # --- driver ---------------------------------------------------------------
 
 
+def _trial_keys(trial_fn: TrialFn, trials: Sequence[Trial],
+                store: Any) -> Dict[int, str]:
+    """Content addresses for every keyable trial; unkeyable trials
+    are simply absent (they run uncached, with a counter bump)."""
+    from repro.memo.keys import Unmemoizable, trial_key
+    keys: Dict[int, str] = {}
+    for trial in trials:
+        try:
+            keys[trial.index] = trial_key(trial_fn, trial.params,
+                                          trial.seed)
+        except Unmemoizable:
+            store.note_uncacheable()
+    return keys
+
+
 def run_resilient_sweep(trial_fn: TrialFn, params: Sequence[Any], *,
                         master_seed: int = 0,
                         workers: Optional[int] = None,
@@ -685,6 +709,7 @@ def run_resilient_sweep(trial_fn: TrialFn, params: Sequence[Any], *,
                         policy: Optional[FaultPolicy] = None,
                         chaos: Any = None,
                         journal: Any = None,
+                        store: Any = None,
                         metrics: Any = None,
                         tracer: Any = None) -> ResilientSweepResult:
     """Run a sweep that survives crashing, hanging and lying workers.
@@ -693,9 +718,19 @@ def run_resilient_sweep(trial_fn: TrialFn, params: Sequence[Any], *,
     contract, same seed derivation, same trial-order merge — plus the
     :class:`FaultPolicy` retry ladder, optional
     :class:`~repro.harness.chaos.ChaosPlan` injection, optional
-    on-disk *journal* (path or :class:`SweepJournal`) for resume, and
-    optional *metrics* registry / *tracer* to record the
-    :class:`SweepReport` into.
+    on-disk *journal* (path or :class:`SweepJournal`) for resume,
+    optional content-addressed *store* (path or
+    :class:`~repro.memo.store.TrialStore`) that serves previously
+    computed trials across sweeps and processes, and optional
+    *metrics* registry / *tracer* to record the :class:`SweepReport`
+    into.
+
+    Store semantics: a trial whose key (trial-function fingerprint +
+    canonical params + derived seed) has a sound record is resolved
+    "cached" without running; first-attempt successes are persisted
+    for future sweeps.  ``FaultPolicy.verify`` vets cached results
+    exactly like fresh ones — a rejected or corrupt record is a miss
+    that recomputes, never a wrong result.
 
     Execution path selection: with no chaos, no watchdog timeout and
     one worker, trials run inline in this process (bit-compatible with
@@ -719,6 +754,26 @@ def run_resilient_sweep(trial_fn: TrialFn, params: Sequence[Any], *,
             outcomes[index] = result
             reports[index] = TrialReport(index=index, attempts=[],
                                          resolution="journal")
+
+    store_obj = None
+    keys: Dict[int, str] = {}
+    counts_before: Dict[str, int] = {}
+    if store is not None:
+        from repro.memo.store import TrialStore
+        store_obj = (store if isinstance(store, TrialStore)
+                     else TrialStore(store))
+        counts_before = store_obj.counts()
+        keys = _trial_keys(trial_fn, trials, store_obj)
+        for trial in trials:
+            if trial.index in reports or trial.index not in keys:
+                continue
+            hit, result = store_obj.get(keys[trial.index],
+                                        verify=policy.verify)
+            if hit:
+                outcomes[trial.index] = result
+                reports[trial.index] = TrialReport(
+                    index=trial.index, attempts=[],
+                    resolution="cached")
 
     todo = [t for t in trials if t.index not in reports]
     if workers is None:
@@ -748,12 +803,32 @@ def run_resilient_sweep(trial_fn: TrialFn, params: Sequence[Any], *,
         if journal_obj is not None:
             journal_obj.close()
 
+    if store_obj is not None:
+        # Persist first-attempt successes only: a retry ran with an
+        # attempt-k seed, and lookups always use the attempt-0 seed,
+        # so caching a retried result would pair the wrong lineage.
+        for trial in todo:
+            trial_report = reports.get(trial.index)
+            if (trial.index in keys
+                    and trial_report is not None
+                    and trial_report.resolution == "ok"
+                    and trial_report.attempts
+                    and trial_report.attempts[-1].attempt == 0):
+                store_obj.put(keys[trial.index], trial.seed,
+                              outcomes[trial.index])
+
     wall = time.perf_counter() - t0
+    cache_delta: Optional[Dict[str, int]] = None
+    if store_obj is not None:
+        counts_after = store_obj.counts()
+        cache_delta = {name: counts_after[name]
+                       - counts_before.get(name, 0)
+                       for name in counts_after}
     report = SweepReport(
         label=label, master_seed=master_seed,
         workers=effective_workers,
         trials=[reports[t.index] for t in trials],
-        wall_seconds=wall)
+        wall_seconds=wall, cache=cache_delta)
     if metrics is not None:
         report.record_into(metrics)
     if tracer is not None:

@@ -1,0 +1,202 @@
+"""Canonical cache keys for deterministic compute.
+
+Both memoization levels rest on the same question: *when are two
+computations guaranteed to produce bit-identical results?*  Answer:
+when everything their outcome depends on — configuration, parameters,
+seed lineage, captured machine state, attack callbacks and their
+closure state — canonicalises to the same bytes.  This module builds
+those bytes.
+
+:func:`canonical` maps a parameter structure to a JSON-compatible,
+tagged form (stable across processes and dict orderings);
+:func:`digest_of` hashes it.  :func:`fingerprint_callable` reduces a
+callable to its identity (module, qualname, code hash) plus primitive
+closure state — and *refuses* (:class:`Unmemoizable`) callables whose
+behaviour depends on state the key cannot see: bound methods (their
+``self`` is arbitrary mutable state outside any snapshot) and
+closures over non-primitive cells.  Refusal is the safety valve: an
+unkeyable computation is simply never cached, so the cache can be
+wrong only by doing extra work, never by returning a stale result.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import functools
+import hashlib
+import json
+import types
+from typing import Any
+
+from repro.config import to_dict as config_to_dict
+
+
+class Unmemoizable(TypeError):
+    """The value cannot be soundly reduced to a cache key."""
+
+
+def _code_hash(fn: Any) -> str:
+    code = getattr(fn, "__code__", None)
+    if code is None:
+        return ""
+    material = repr((code.co_code, code.co_consts, code.co_names,
+                     code.co_varnames)).encode()
+    return hashlib.sha256(material).hexdigest()[:16]
+
+
+def fingerprint_callable(fn: Any) -> Any:
+    """Canonical identity of a callable, or raise :class:`Unmemoizable`.
+
+    Plain functions (including closures over primitives) and
+    ``functools.partial`` wrappers fingerprint; bound methods and
+    closures over mutable non-primitive state do not — their behaviour
+    depends on objects the key cannot capture.
+    """
+    if isinstance(fn, functools.partial):
+        return {"__partial__": fingerprint_callable(fn.func),
+                "args": canonical(fn.args),
+                "kwargs": canonical(dict(fn.keywords))}
+    if isinstance(fn, types.MethodType):
+        raise Unmemoizable(
+            f"bound method {fn.__qualname__} closes over live object "
+            f"state; it cannot be keyed soundly")
+    if isinstance(fn, types.BuiltinFunctionType):
+        return {"__fn__": f"{fn.__module__}:{fn.__qualname__}"}
+    if isinstance(fn, types.FunctionType):
+        cells = []
+        for cell in fn.__closure__ or ():
+            try:
+                value = cell.cell_contents
+            except ValueError as exc:  # pragma: no cover - empty cell
+                raise Unmemoizable(
+                    f"{fn.__qualname__} has an empty closure cell"
+                ) from exc
+            cells.append(canonical(value))
+        return {"__fn__": f"{fn.__module__}:{fn.__qualname__}",
+                "code": _code_hash(fn),
+                "cells": cells}
+    if callable(fn):
+        # A dataclass __call__ instance keys by its declared field
+        # state plus the class identity; any other instance carries
+        # state the key cannot see.
+        if dataclasses.is_dataclass(fn) and not isinstance(fn, type):
+            return {"__callable__": canonical(fn),
+                    "call": f"{type(fn).__module__}:"
+                            f"{type(fn).__qualname__}.__call__"}
+        raise Unmemoizable(
+            f"callable {type(fn).__qualname__} instance state is "
+            f"invisible to the cache key")
+    raise Unmemoizable(f"{fn!r} is not callable")
+
+
+def canonical(value: Any) -> Any:
+    """Reduce *value* to a JSON-compatible canonical structure.
+
+    Handles primitives, bytes, enums, tuples/lists, dicts (string-ified
+    sorted keys), sets/frozensets (sorted), registered config
+    dataclasses (via :func:`repro.config.to_dict`), generic dataclasses
+    (tagged by qualified name) and callables.  Raises
+    :class:`Unmemoizable` for anything else.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return {"__float__": repr(value)}
+    if isinstance(value, bytes):
+        return {"__bytes__": value.hex()}
+    if isinstance(value, enum.Enum):
+        return {"__enum__": f"{type(value).__module__}:"
+                            f"{type(value).__qualname__}",
+                "value": canonical(value.value)}
+    if isinstance(value, tuple):
+        return {"__tuple__": [canonical(v) for v in value]}
+    if isinstance(value, list):
+        return [canonical(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        items = [canonical(v) for v in value]
+        return {"__set__": sorted(
+            items, key=lambda v: json.dumps(v, sort_keys=True))}
+    if isinstance(value, dict):
+        return {"__dict__": [
+            [str(k), canonical(v)]
+            for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))]}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        try:
+            return {"__config__": config_to_dict(value)}
+        except TypeError:
+            pass
+        record: Any = {"__dataclass__": f"{type(value).__module__}:"
+                                        f"{type(value).__qualname__}"}
+        for field in dataclasses.fields(value):
+            record[field.name] = canonical(getattr(value, field.name))
+        return record
+    if callable(value):
+        return fingerprint_callable(value)
+    raise Unmemoizable(
+        f"cannot canonicalise {type(value).__name__!r} value "
+        f"{value!r} into a cache key")
+
+
+def canonical_json(value: Any) -> str:
+    """The canonical structure as deterministic JSON text."""
+    return json.dumps(canonical(value), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def digest_of(value: Any) -> str:
+    """SHA-256 hex digest of :func:`canonical_json`."""
+    return hashlib.sha256(canonical_json(value).encode()).hexdigest()
+
+
+def recipe_fingerprint(recipe: Any) -> Any:
+    """Canonical identity/knob state of an
+    :class:`~repro.core.recipes.AttackRecipe`.
+
+    Covers the parts *outside* any machine snapshot: the attack and
+    pivot callbacks (with closure state) and the static knobs.  The
+    mutable progress fields (``replays``, ``probe_log``, monitored
+    addresses…) travel in the module's snapshot capture and are keyed
+    by the state digest instead.  Raises :class:`Unmemoizable` when a
+    callback cannot be keyed (e.g. a bound method of a stateful
+    stepper object).
+    """
+    return {
+        "name": recipe.name,
+        "process": recipe.process.name,
+        "replay_handle_va": recipe.replay_handle_va,
+        "confidence": canonical(recipe.confidence),
+        "max_replays": recipe.max_replays,
+        "walk_tuning": canonical(recipe.walk_tuning),
+        "prime_monitor_addrs": recipe.prime_monitor_addrs,
+        "attack_function": (None if recipe.attack_function is None
+                            else fingerprint_callable(
+                                recipe.attack_function)),
+        "pivot_function": (None if recipe.pivot_function is None
+                           else fingerprint_callable(
+                               recipe.pivot_function)),
+    }
+
+
+def trial_key(trial_fn: Any, params: Any, seed: int) -> str:
+    """The content address of one sweep trial.
+
+    SHA-256 over the trial function's fingerprint, the canonical
+    parameters and the derived seed — everything a deterministic
+    trial's outcome is a function of.  Raises :class:`Unmemoizable`
+    when either the function or the parameters cannot be keyed.
+    """
+    return digest_of({"fn": fingerprint_callable(trial_fn),
+                      "params": canonical(params),
+                      "seed": seed})
+
+
+__all__ = [
+    "Unmemoizable",
+    "canonical",
+    "canonical_json",
+    "digest_of",
+    "fingerprint_callable",
+    "recipe_fingerprint",
+    "trial_key",
+]

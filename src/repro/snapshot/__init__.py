@@ -6,6 +6,7 @@ by the sweep harness.
 """
 
 from repro.snapshot.cache import cache_size, clear_cache, warm_start
+from repro.snapshot.digest import state_digest
 from repro.snapshot.machine import (
     SNAPSHOT_VERSION,
     MachineSnapshot,
@@ -18,5 +19,6 @@ __all__ = [
     "SNAPSHOT_VERSION",
     "cache_size",
     "clear_cache",
+    "state_digest",
     "warm_start",
 ]

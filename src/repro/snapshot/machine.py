@@ -78,6 +78,13 @@ class MachineSnapshot:
             module.capture() if module is not None else None,
         )
 
+    def digest(self) -> str:
+        """Stable SHA-256 of the captured logical state (see
+        :mod:`repro.snapshot.digest`): equal for bit-identical
+        platform states however and whenever they were captured."""
+        from repro.snapshot.digest import state_digest
+        return state_digest(self)
+
     def restore(self, env):
         """Restore *env* in place to the captured state."""
         if self.version != SNAPSHOT_VERSION:

@@ -61,13 +61,19 @@ def run_matrix(*, workers: Optional[int] = None,
                attacks: Sequence[str] = (),
                defenses: Sequence[str] = (),
                overrides: Optional[Mapping[str, Mapping]] = None,
-               journal: Any = None) -> EvaluationMatrix:
-    """Run the (possibly restricted) matrix at the published seed."""
+               journal: Any = None,
+               store: Any = None) -> EvaluationMatrix:
+    """Run the (possibly restricted) matrix at the published seed.
+
+    *store* (a path or :class:`~repro.memo.store.TrialStore`) serves
+    already-computed cells from the content-addressed cache; the
+    rendered artifacts are byte-identical either way.
+    """
     return MatrixRunner(
         attacks=attacks, defenses=defenses,
         overrides=dict(overrides or {}),
         master_seed=DEFAULT_MASTER_SEED,
-        workers=workers, journal=journal).run()
+        workers=workers, journal=journal, store=store).run()
 
 
 # --- paper-claim checks --------------------------------------------------
@@ -268,12 +274,12 @@ def extract_readme_block(readme_text: str) -> str:
 
 # --- generation + drift check --------------------------------------------
 
-def generate(*, workers: Optional[int] = None
+def generate(*, workers: Optional[int] = None, store: Any = None
              ) -> Tuple[EvaluationMatrix, List[Dict[str, Any]],
                         str, str]:
     """Run the full matrix + claims; returns
     ``(matrix, claims, results_md, results_json_text)``."""
-    matrix = run_matrix(workers=workers)
+    matrix = run_matrix(workers=workers, store=store)
     claims = run_claims(matrix)
     payload = build_payload(matrix, claims)
     results_json = json.dumps(payload, indent=2, sort_keys=True) + "\n"
@@ -295,10 +301,14 @@ def main(argv=None) -> int:
                         help="worker processes for the matrix sweep "
                              "(results are bit-identical for any "
                              "count)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="content-addressed trial cache for the "
+                             "matrix cells (results are "
+                             "bit-identical with or without it)")
     args = parser.parse_args(argv)
 
     matrix, claims, results_md, results_json = generate(
-        workers=args.workers)
+        workers=args.workers, store=args.cache_dir)
     block = readme_block(matrix)
 
     if args.check:

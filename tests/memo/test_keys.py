@@ -1,0 +1,130 @@
+"""Canonical cache keys: determinism, sensitivity, refusal."""
+
+import functools
+
+import pytest
+
+import repro.config
+from repro.config import from_dict, to_dict
+from repro.core.recipes import WalkTuning, replay_n_times
+from repro.memo import (
+    MemoConfig,
+    Unmemoizable,
+    canonical,
+    canonical_json,
+    digest_of,
+    fingerprint_callable,
+    trial_key,
+)
+
+
+def _trial(params, seed):
+    return (params, seed)
+
+
+def _other_trial(params, seed):
+    return (seed, params)
+
+
+class _Stateful:
+    def __init__(self):
+        self.count = 0
+
+    def step(self, event):
+        self.count += 1
+        return self.count
+
+
+# --- canonical -----------------------------------------------------------
+
+def test_canonical_is_dict_order_independent():
+    a = {"x": 1, "y": (2, 3), "z": {"k": [4.5]}}
+    b = {"z": {"k": [4.5]}, "y": (2, 3), "x": 1}
+    assert canonical_json(a) == canonical_json(b)
+
+
+def test_canonical_distinguishes_container_kinds():
+    assert canonical_json((1, 2)) != canonical_json([1, 2])
+    assert canonical_json({1, 2}) != canonical_json([1, 2])
+
+
+def test_canonical_set_order_independent():
+    assert canonical_json({3, 1, 2}) == canonical_json({2, 3, 1})
+
+
+def test_canonical_bytes_and_float():
+    assert canonical(b"\x00\xff") == {"__bytes__": "00ff"}
+    assert canonical(0.1) == {"__float__": repr(0.1)}
+
+
+def test_canonical_enum_and_config_dataclass():
+    tuning = WalkTuning()
+    assert canonical(tuning) == canonical(WalkTuning())
+    assert canonical_json(tuning) != canonical_json(
+        {"upper": "pwc", "leaf": "dram"})
+
+
+def test_canonical_rejects_opaque_objects():
+    with pytest.raises(Unmemoizable):
+        canonical(object())
+
+
+def test_digest_of_stability_and_sensitivity():
+    value = {"attack": "port-contention", "samples": 400}
+    assert digest_of(value) == digest_of(dict(value))
+    assert digest_of(value) != digest_of(
+        {"attack": "port-contention", "samples": 401})
+
+
+# --- callables -----------------------------------------------------------
+
+def test_closure_state_is_part_of_the_fingerprint():
+    three, five = replay_n_times(3), replay_n_times(5)
+    assert fingerprint_callable(three) == fingerprint_callable(
+        replay_n_times(3))
+    assert fingerprint_callable(three) != fingerprint_callable(five)
+
+
+def test_bound_methods_are_unmemoizable():
+    with pytest.raises(Unmemoizable):
+        fingerprint_callable(_Stateful().step)
+
+
+def test_partial_fingerprints_through_to_the_target():
+    p = functools.partial(_trial, seed=3)
+    assert fingerprint_callable(p) == fingerprint_callable(
+        functools.partial(_trial, seed=3))
+    assert fingerprint_callable(p) != fingerprint_callable(
+        functools.partial(_trial, seed=4))
+
+
+def test_distinct_functions_fingerprint_differently():
+    assert fingerprint_callable(_trial) != fingerprint_callable(
+        _other_trial)
+
+
+# --- trial keys ----------------------------------------------------------
+
+def test_trial_key_covers_fn_params_and_seed():
+    base = trial_key(_trial, {"secret": 1}, 42)
+    assert base == trial_key(_trial, {"secret": 1}, 42)
+    assert base != trial_key(_trial, {"secret": 0}, 42)
+    assert base != trial_key(_trial, {"secret": 1}, 43)
+    assert base != trial_key(_other_trial, {"secret": 1}, 42)
+
+
+def test_matrix_cell_params_are_keyable():
+    from repro.evaluation.matrix import _cell_trial
+    key = trial_key(_cell_trial,
+                    ("port-contention", "none", {"measurements": 400}),
+                    2019)
+    assert len(key) == 64
+
+
+# --- MemoConfig registration ---------------------------------------------
+
+def test_memo_config_round_trips_through_repro_config():
+    cfg = MemoConfig(enabled=False, cache_dir="/tmp/x",
+                     window_entries=8)
+    assert from_dict(to_dict(cfg)) == cfg
+    assert repro.config.MemoConfig is MemoConfig

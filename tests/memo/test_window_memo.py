@@ -1,0 +1,189 @@
+"""WindowMemo: hits splice recorded outcomes back bit-exactly, every
+poisoning mode degrades to a recompute, never a wrong result."""
+
+import dataclasses
+import hashlib
+
+import pytest
+
+from repro.cpu.machine import Machine
+from repro.isa import instructions as ins
+from repro.isa.program import ProgramBuilder
+from repro.memo import WindowMemo
+from repro.observability import EventTracer, MetricsRegistry
+from repro.reporting import machine_report
+from repro.snapshot import MachineSnapshot
+from repro.snapshot.machine import SNAPSHOT_VERSION
+
+DATA_BASE = 0x0010_0000
+
+
+def _program():
+    builder = ProgramBuilder("memo-window")
+    builder.li("r1", DATA_BASE)
+    builder.li("r2", 7)
+    builder.li("r3", 11)
+    builder.li("r0", 6)
+    builder.label("loop")
+    builder.emit(ins.mul("r4", "r2", "r3"))
+    builder.emit(ins.store("r1", "r4", 0))
+    builder.emit(ins.load("r5", "r1", 0))
+    builder.emit(ins.add("r2", "r2", "r5"))
+    builder.subi("r0", "r0", 1)
+    builder.li("r13", 0)
+    builder.bne("r0", "r13", "loop")
+    builder.halt()
+    return builder.build()
+
+
+def _machine():
+    machine = Machine()
+    machine.contexts[0].load_program(_program())
+    machine.run(40)
+    return machine
+
+
+def _state_of(machine):
+    context = machine.contexts[0]
+    return (machine.cycle,
+            dict(context.int_regs),
+            [machine.phys.read(addr)
+             for addr in range(DATA_BASE, DATA_BASE + 64, 8)],
+            dataclasses.asdict(machine_report(machine)),
+            machine.metrics.dump())
+
+
+def _window(machine, calls):
+    def run_fn():
+        calls.append(1)
+        machine.run(600)
+        return {"cycle": machine.cycle,
+                "r2": machine.contexts[0].int_regs["r2"]}
+    return run_fn
+
+
+def test_hit_is_bit_identical_and_skips_execution():
+    machine = _machine()
+    base = MachineSnapshot.take(machine)
+    metrics = MetricsRegistry()
+    memo = WindowMemo(metrics=metrics)
+    calls = []
+
+    cold = memo.run(machine, {"n": 3}, _window(machine, calls))
+    cold_state = _state_of(machine)
+
+    base.restore(machine)
+    warm = memo.run(machine, {"n": 3}, _window(machine, calls))
+
+    assert calls == [1], "hit must not re-execute the window"
+    assert warm == cold and warm is not cold
+    assert _state_of(machine) == cold_state
+    assert memo.counts()["hits"] == 1
+    assert memo.counts()["misses"] == 1
+    assert metrics.counter("memo.window.hits").value == 1
+    assert metrics.counter("memo.window.bytes").value > 0
+
+
+def test_extra_key_and_state_changes_both_miss():
+    machine = _machine()
+    base = MachineSnapshot.take(machine)
+    memo = WindowMemo()
+    calls = []
+    memo.run(machine, {"n": 3}, _window(machine, calls))
+
+    base.restore(machine)
+    memo.run(machine, {"n": 4}, _window(machine, calls))
+    assert len(calls) == 2, "different recipe key must run cold"
+
+    base.restore(machine)
+    machine.run(1)
+    memo.run(machine, {"n": 3}, _window(machine, calls))
+    assert len(calls) == 3, "different start state must run cold"
+    assert memo.counts() == dict(memo.counts(), hits=0, misses=3)
+
+
+@pytest.mark.parametrize("tamper", ["payload", "pickle", "version"])
+def test_poisoned_entry_recomputes_correctly(tamper):
+    machine = _machine()
+    base = MachineSnapshot.take(machine)
+    memo = WindowMemo()
+    calls = []
+    cold = memo.run(machine, {"n": 3}, _window(machine, calls))
+    cold_state = _state_of(machine)
+
+    (key,) = memo._entries
+    entry = memo._entries[key]
+    if tamper == "payload":          # integrity digest mismatch
+        entry.payload = b"\x00garbage"
+    elif tamper == "pickle":         # digest ok, undecodable result
+        entry.payload = b"\x00garbage"
+        entry.sha256 = hashlib.sha256(entry.payload).hexdigest()
+    else:                            # stale final-snapshot version
+        entry.final.version = SNAPSHOT_VERSION + 1
+
+    base.restore(machine)
+    warm = memo.run(machine, {"n": 3}, _window(machine, calls))
+    assert calls == [1, 1], "poisoned entry must recompute"
+    assert warm == cold
+    assert _state_of(machine) == cold_state
+    assert memo.counts()["corrupt"] == 1
+    assert memo.counts()["hits"] == 0
+
+
+def test_verify_hook_rejection_recomputes():
+    machine = _machine()
+    base = MachineSnapshot.take(machine)
+    verdicts = iter([False, True])
+    memo = WindowMemo(verify=lambda result: next(verdicts))
+    calls = []
+    cold = memo.run(machine, {"n": 3}, _window(machine, calls))
+
+    base.restore(machine)
+    warm = memo.run(machine, {"n": 3}, _window(machine, calls))
+    assert calls == [1, 1] and warm == cold
+    assert memo.counts()["rejected"] == 1
+
+    base.restore(machine)
+    memo.run(machine, {"n": 3}, _window(machine, calls))
+    assert len(calls) == 2, "re-recorded entry serves hits again"
+    assert memo.counts()["hits"] == 1
+
+
+def test_lru_eviction_is_bounded_and_counted():
+    machine = _machine()
+    base = MachineSnapshot.take(machine)
+    memo = WindowMemo(max_entries=2)
+    calls = []
+    for n in (1, 2, 3):
+        base.restore(machine)
+        memo.run(machine, {"n": n}, _window(machine, calls))
+    assert len(memo) == 2
+    assert memo.counts()["evictions"] == 1
+    assert memo.counts()["bytes"] > 0
+
+    base.restore(machine)          # oldest key (n=1) was evicted
+    memo.run(machine, {"n": 1}, _window(machine, calls))
+    assert len(calls) == 4
+
+
+def test_tracer_slices_on_hit_and_miss():
+    from repro.observability.tracer import MEMO_TID
+    machine = _machine()
+    base = MachineSnapshot.take(machine)
+    tracer = EventTracer(capacity=64)
+    memo = WindowMemo(tracer=tracer)
+    calls = []
+    memo.run(machine, {"n": 3}, _window(machine, calls))
+    base.restore(machine)
+    memo.run(machine, {"n": 3}, _window(machine, calls))
+    memo_events = [event for event in tracer.events()
+                   if event.cat == "memo"]
+    names = [event.name for event in memo_events]
+    assert "memo.window.miss" in names
+    assert "memo.window.hit" in names
+    assert all(event.tid == MEMO_TID for event in memo_events)
+
+
+def test_rejects_nonpositive_capacity():
+    with pytest.raises(ValueError):
+        WindowMemo(max_entries=0)

@@ -1,0 +1,127 @@
+"""Differential testing of replay-window memoization.
+
+Hypothesis generates random terminating programs and random window
+start points; a window served from :class:`repro.memo.WindowMemo`
+must leave the machine — architectural state, machine report and
+``MetricsRegistry`` counter state — bit-identical to running the
+window cold, and execution continued past the splice must stay
+identical to the end.  This is the Level-1 soundness contract: a
+memoized replay is indistinguishable from the replay it replaced.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.machine import Machine
+from repro.isa import instructions as ins
+from repro.isa.program import ProgramBuilder
+from repro.memo import WindowMemo
+from repro.reporting import machine_report
+from repro.snapshot import MachineSnapshot
+
+DATA_BASE = 0x0010_0000
+_DATA_REGS = [f"r{i}" for i in range(2, 10)]
+
+
+@st.composite
+def _random_program(draw):
+    """Init + bounded loop rich in loads/stores/mul/div, so windows
+    start and end in interesting pipeline and cache states."""
+    builder = ProgramBuilder("memo-differential")
+    builder.li("r1", DATA_BASE)
+    for reg in _DATA_REGS:
+        builder.li(reg, draw(st.integers(0, 1 << 20)))
+    builder.li("r0", draw(st.integers(min_value=1, max_value=4)))
+    builder.label("loop")
+    for _ in range(draw(st.integers(min_value=2, max_value=8))):
+        kind = draw(st.sampled_from(
+            ["alu", "mul", "div", "load", "store"]))
+        rd = draw(st.sampled_from(_DATA_REGS))
+        rs1 = draw(st.sampled_from(_DATA_REGS))
+        rs2 = draw(st.sampled_from(_DATA_REGS))
+        offset = draw(st.sampled_from([0, 8, 16, 64]))
+        if kind == "alu":
+            ctor = draw(st.sampled_from([ins.add, ins.sub, ins.xor]))
+            builder.emit(ctor(rd, rs1, rs2))
+        elif kind == "mul":
+            builder.emit(ins.mul(rd, rs1, rs2))
+        elif kind == "div":
+            builder.emit(ins.div(rd, rs1, rs2))
+        elif kind == "load":
+            builder.emit(ins.load(rd, "r1", offset))
+        else:
+            builder.emit(ins.store("r1", rs1, offset))
+    builder.subi("r0", "r0", 1)
+    builder.li("r13", 0)
+    builder.bne("r0", "r13", "loop")
+    builder.halt()
+    return builder.build()
+
+
+def _full_state(machine):
+    """Everything the soundness contract covers, metrics included."""
+    context = machine.contexts[0]
+    return (machine.cycle,
+            dict(context.int_regs),
+            dict(context.fp_regs),
+            [machine.phys.read(addr)
+             for addr in range(DATA_BASE, DATA_BASE + 128, 8)],
+            dataclasses.asdict(machine_report(machine)),
+            machine.metrics.dump())
+
+
+def _never_runs():
+    raise AssertionError("a memo hit must not execute the window")
+
+
+@given(_random_program(), st.integers(min_value=0, max_value=300),
+       st.integers(min_value=50, max_value=1500))
+@settings(max_examples=25, deadline=None)
+def test_memoized_window_is_indistinguishable(program, start, length):
+    machine = Machine()
+    machine.contexts[0].load_program(program)
+    machine.run(start)
+    base = MachineSnapshot.take(machine)
+    memo = WindowMemo()
+
+    def window():
+        machine.run(length)
+        return (machine.cycle,
+                dict(machine.contexts[0].int_regs))
+
+    cold = memo.run(machine, {"len": length}, window)
+    mid_state = _full_state(machine)
+    machine.run(3_000_000)
+    final_state = _full_state(machine)
+
+    base.restore(machine)
+    warm = memo.run(machine, {"len": length}, _never_runs)
+    assert memo.counts()["hits"] == 1
+    assert warm == cold
+    # The splice itself is bit-exact, counters included...
+    assert _full_state(machine) == mid_state
+    # ...and execution continued past it cannot tell the difference.
+    machine.run(3_000_000)
+    assert _full_state(machine) == final_state
+
+
+@given(_random_program(), st.integers(min_value=0, max_value=200))
+@settings(max_examples=10, deadline=None)
+def test_memo_hits_survive_repeated_splices(program, start):
+    """One recorded window, many hits: every splice lands the same
+    state, even after the machine ran on and dirtied COW frames."""
+    machine = Machine()
+    machine.contexts[0].load_program(program)
+    machine.run(start)
+    base = MachineSnapshot.take(machine)
+    memo = WindowMemo()
+    memo.run(machine, "w", lambda: machine.run(800))
+    expected = _full_state(machine)
+    for _ in range(3):
+        machine.run(5_000)       # disturb past the recorded window
+        base.restore(machine)
+        memo.run(machine, "w", _never_runs)
+        assert _full_state(machine) == expected
+    assert memo.counts() == dict(memo.counts(), hits=3, misses=1)
