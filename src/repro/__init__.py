@@ -18,7 +18,10 @@ cycle-level simulator written from scratch:
 * :mod:`repro.evaluation` -- the attack x defense matrix behind
   ``docs/RESULTS.md``;
 * :mod:`repro.memo` -- the two-level deterministic compute cache
-  (replay-window memoization + content-addressed trial store).
+  (replay-window memoization + content-addressed trial store);
+* :mod:`repro.batch` -- the lockstep machine fleet: N same-program
+  lanes stepped for roughly the cost of one, bit-identical to scalar
+  runs (``run_sweep(..., backend="batch")``).
 
 The public surface is promoted to this top level (and snapshotted by
 ``tests/api/api_surface.json``), so everyday use is one import::
@@ -37,6 +40,14 @@ and fault-tolerant) in :mod:`repro.harness`, and the facade itself in
 for code that wants one abstraction level down.
 """
 
+from repro.batch import (
+    FleetPlan,
+    FleetTrial,
+    LaneInit,
+    LaneOutcome,
+    MachineFleet,
+    run_fleet,
+)
 from repro.config import (
     CacheConfig,
     CoreConfig,
@@ -92,7 +103,7 @@ from repro.observability import EventTracer, MetricsRegistry
 from repro.sgx.enclave import EnclaveConfig
 from repro.snapshot import MachineSnapshot, state_digest, warm_start
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AESCacheAttack",
@@ -110,10 +121,15 @@ __all__ = [
     "Experiment",
     "ExperimentReport",
     "FaultPolicy",
+    "FleetPlan",
+    "FleetTrial",
     "HierarchyConfig",
     "KernelConfig",
+    "LaneInit",
+    "LaneOutcome",
     "Machine",
     "MachineConfig",
+    "MachineFleet",
     "MachineSnapshot",
     "MatrixCell",
     "MatrixRunner",
@@ -138,6 +154,7 @@ __all__ = [
     "merge_ordered",
     "resolve_store",
     "run_figure10",
+    "run_fleet",
     "run_resilient_sweep",
     "run_sweep",
     "state_digest",

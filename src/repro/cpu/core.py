@@ -91,6 +91,20 @@ class Core:
         #: present bit before the walker consumed the leaf entry — the
         #: access then completes normally instead of faulting.
         self.pte_race_hooks: List[Callable[[HardwareContext, ROBEntry], bool]] = []
+        #: Called after decode resolves an entry's source operands.
+        #: Receives ``(context, entry, sources)`` where ``sources`` has
+        #: one element per operand slot: ``None`` (no source register),
+        #: ``("arch", regname)`` (read from architectural state),
+        #: ``("value", producer)`` (copied from a completed producer)
+        #: or ``("pending", producer)`` (woken later by completion).
+        #: The rename map is updated *after* the hook runs, so the
+        #: producer identity is unrecoverable any later — same-register
+        #: read/write instructions overwrite it.
+        self.decode_hooks: List[Callable[
+            [HardwareContext, ROBEntry, tuple], None]] = []
+        #: Called when a non-squashed, non-faulted entry completes,
+        #: just before its value is distributed to dependents.
+        self.complete_hooks: List[Callable[[HardwareContext, ROBEntry], None]] = []
         # Transaction aborts triggered by cache evictions land here.
         hierarchy.l1.add_evict_observer(self._on_l1_evict)
 
@@ -262,6 +276,8 @@ class Core:
                 self._try_pte_race(entry)
             if entry.faulted:
                 continue  # no value; dependents stay asleep until squash
+            for hook in self.complete_hooks:
+                hook(self.contexts[entry.context_id], entry)
             for dependent, slot in entry.dependents:
                 if dependent.squashed:
                     continue
@@ -841,18 +857,29 @@ class Core:
         if self.tracer is not None:
             self.tracer.on_fetch(self.cycle, entry)
         # Resolve source operands against the rename map / arch state.
+        sources = [None, None] if self.decode_hooks else None
         for slot, src in enumerate((instr.rs1, instr.rs2)):
             if src is None:
                 continue
             producer = context.rename.get(src)
             if producer is None:
                 entry.operands[slot] = context.read_reg(src)
+                if sources is not None:
+                    sources[slot] = ("arch", src)
             elif producer.completed and not producer.faulted:
                 entry.operands[slot] = producer.value
+                if sources is not None:
+                    sources[slot] = ("value", producer)
             else:
                 # In-flight (or faulted: never wakes) producer.
                 producer.dependents.append((entry, slot))
                 entry.pending += 1
+                if sources is not None:
+                    sources[slot] = ("pending", producer)
+        if sources is not None:
+            src_tuple = tuple(sources)
+            for hook in self.decode_hooks:
+                hook(context, entry, src_tuple)
         dest = instr.dest()
         if dest is not None:
             context.rename[dest] = entry

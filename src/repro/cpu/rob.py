@@ -126,6 +126,8 @@ def clone_entry(entry: Optional[ROBEntry], memo: dict
 class ReorderBuffer:
     """Program-ordered queue of in-flight instructions for one context."""
 
+    __slots__ = ("capacity", "entries", "_stores")
+
     def __init__(self, capacity: int):
         if capacity <= 0:
             raise ValueError("ROB capacity must be positive")
@@ -168,12 +170,14 @@ class ReorderBuffer:
         (marking them squashed).  ``seq = -1`` squashes everything."""
         survivors: Deque[ROBEntry] = deque()
         squashed: List[ROBEntry] = []
+        keep = survivors.append
+        drop = squashed.append
         for entry in self.entries:
             if entry.seq > seq:
                 entry.squashed = True
-                squashed.append(entry)
+                drop(entry)
             else:
-                survivors.append(entry)
+                keep(entry)
         self.entries = survivors
         if squashed:
             self._stores = deque(e for e in self._stores
@@ -182,20 +186,22 @@ class ReorderBuffer:
 
     def stores_older_than(self, seq: int) -> List[ROBEntry]:
         """In-flight stores older than *seq*, oldest first."""
-        stores = []
+        stores: List[ROBEntry] = []
+        take = stores.append
         for e in self._stores:     # program order, so seqs ascend
             if e.seq >= seq:
                 break
-            stores.append(e)
+            take(e)
         return stores
 
     def all_older_completed(self, seq: int) -> bool:
         """True when every entry older than *seq* has completed.
         Entries are program-ordered, so stop at the first younger one."""
+        completed = EntryState.COMPLETED
         for e in self.entries:
             if e.seq >= seq:
                 return True
-            if e.state is not EntryState.COMPLETED:
+            if e.state is not completed:
                 return False
         return True
 

@@ -148,6 +148,10 @@ class Experiment:
     #: Path or :class:`~repro.memo.store.TrialStore`: the persistent
     #: content-addressed trial cache (see :mod:`repro.memo`).
     store: Any = None
+    #: ``"scalar"`` runs one machine per trial; ``"batch"`` adds a
+    #: lockstep-fleet pre-pass (requires ``trial=`` to carry a
+    #: ``fleet_plan``; see :class:`repro.batch.FleetTrial`).
+    backend: str = "scalar"
 
     # --- observability ---------------------------------------------------
     metrics: Optional[MetricsRegistry] = None
@@ -230,7 +234,7 @@ class Experiment:
             master_seed=self.master_seed, workers=workers,
             label=self.label, policy=self.policy, chaos=self.chaos,
             journal=self.journal, store=self.store, metrics=metrics,
-            tracer=self.tracer)
+            tracer=self.tracer, backend=self.backend)
         return ExperimentReport(label=self.label,
                                 results=sweep.results(),
                                 report=sweep.report, metrics=metrics)

@@ -52,6 +52,7 @@ from repro.harness.sweep import (
     Trial,
     derive_seed,
     merge_ordered,
+    run_batched,
     run_sweep,
 )
 
@@ -75,6 +76,7 @@ __all__ = [
     "default_workers",
     "derive_seed",
     "merge_ordered",
+    "run_batched",
     "run_indexed",
     "run_resilient_sweep",
     "run_sweep",

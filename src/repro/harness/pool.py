@@ -24,13 +24,26 @@ R = TypeVar("R")
 
 
 def default_workers() -> int:
-    """Worker-count default: ``REPRO_WORKERS`` if set, else the CPU
-    count.  Returns at least 1."""
+    """Worker-count default: ``REPRO_WORKERS`` if set, else the CPUs
+    this process may actually run on.  Returns at least 1.
+
+    ``os.sched_getaffinity`` is preferred over ``os.cpu_count``
+    because cgroup cpusets (CI runners, containers) often pin the
+    process to far fewer CPUs than the host owns; sizing the pool to
+    the host count there just makes workers fight over the allowed
+    cores.
+    """
     env = os.environ.get("REPRO_WORKERS", "")
     if env:
         try:
             return max(1, int(env))
         except ValueError:
+            pass
+    affinity = getattr(os, "sched_getaffinity", None)
+    if affinity is not None:
+        try:
+            return max(1, len(affinity(0)))
+        except OSError:
             pass
     return max(1, os.cpu_count() or 1)
 

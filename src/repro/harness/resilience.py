@@ -684,6 +684,52 @@ def _run_inline(trial_fn: TrialFn, todo: Sequence[Trial], *,
             resolution=resolution)
 
 
+# --- batch-fleet pre-pass -------------------------------------------------
+
+
+def _fleet_prepass(trial_fn: TrialFn, todo: Sequence[Trial], *,
+                   journal: Optional[SweepJournal],
+                   outcomes: Dict[int, Any],
+                   reports: Dict[int, TrialReport],
+                   t0: float) -> List[Trial]:
+    """Resolve what the batch fleet can; return the trials that still
+    need the scalar retry ladder.
+
+    Every lane that completes becomes an attempt-0 "ok" resolution
+    (journalled like any first-attempt success); a lane that errors is
+    handed to the ladder *without* recording an attempt, so its retry
+    budget and seed lineage are untouched — the ladder reruns it
+    scalar from attempt 0 exactly as if the fleet had never existed.
+    Any failure of the fleet machinery itself degrades silently to the
+    full scalar path: resilience never trades fault tolerance for
+    throughput.
+    """
+    started = time.perf_counter() - t0
+    try:
+        from repro.batch.fleet import MachineFleet
+        plan = trial_fn.fleet_plan  # type: ignore[attr-defined]
+        lane_outcomes = MachineFleet(
+            plan, [(t.seed, t.params) for t in todo]).run()
+    except Exception:
+        return list(todo)
+    duration = max(time.perf_counter() - t0 - started, 0.0)
+    remaining: List[Trial] = []
+    for trial, lane in zip(todo, lane_outcomes):
+        if lane.error is not None:
+            remaining.append(trial)
+            continue
+        outcomes[trial.index] = lane.result
+        reports[trial.index] = TrialReport(
+            index=trial.index,
+            attempts=[TrialAttempt(attempt=0, outcome="ok",
+                                   seed=trial.seed, started=started,
+                                   duration=duration)],
+            resolution="ok")
+        if journal is not None:
+            journal.record(trial.index, 0, trial.seed, lane.result)
+    return remaining
+
+
 # --- driver ---------------------------------------------------------------
 
 
@@ -711,7 +757,8 @@ def run_resilient_sweep(trial_fn: TrialFn, params: Sequence[Any], *,
                         journal: Any = None,
                         store: Any = None,
                         metrics: Any = None,
-                        tracer: Any = None) -> ResilientSweepResult:
+                        tracer: Any = None,
+                        backend: str = "scalar") -> ResilientSweepResult:
     """Run a sweep that survives crashing, hanging and lying workers.
 
     Drop-in superset of :func:`repro.harness.run_sweep`: same trial
@@ -736,7 +783,26 @@ def run_resilient_sweep(trial_fn: TrialFn, params: Sequence[Any], *,
     one worker, trials run inline in this process (bit-compatible with
     ``run_sweep(workers=1)`` plus retries); otherwise every attempt
     gets its own supervised worker process.
+
+    ``backend="batch"`` (requires a *trial_fn* carrying a
+    ``fleet_plan``; see :class:`repro.batch.FleetTrial`) runs a fleet
+    pre-pass over the unresolved trials first: lanes the fleet
+    completes resolve as ordinary attempt-0 successes (journalled and
+    store-persisted like any other), lanes that error fall through to
+    the scalar retry ladder with their full attempt budget, and any
+    failure of the fleet itself silently degrades to the all-scalar
+    path.  The pre-pass is skipped under chaos injection — chaos
+    faults target per-attempt workers, which the fleet would bypass.
     """
+    if backend not in ("scalar", "batch"):
+        raise ValueError(f"unknown sweep backend {backend!r}; "
+                         f"expected 'scalar' or 'batch'")
+    if (backend == "batch"
+            and getattr(trial_fn, "fleet_plan", None) is None):
+        raise ValueError(
+            "backend='batch' needs a trial function that carries a "
+            "fleet_plan attribute (see repro.batch.FleetTrial); "
+            f"{trial_fn!r} does not")
     policy = policy or FaultPolicy()
     params = list(params)
     trials = [Trial(index=i,
@@ -784,18 +850,26 @@ def run_resilient_sweep(trial_fn: TrialFn, params: Sequence[Any], *,
 
     t0 = time.perf_counter()
     try:
-        if todo:
+        remaining = todo
+        if todo and backend == "batch" and chaos is None:
+            remaining = _fleet_prepass(trial_fn, todo,
+                                       journal=journal_obj,
+                                       outcomes=outcomes,
+                                       reports=reports, t0=t0)
+            effective_workers = min(effective_workers,
+                                    max(len(remaining), 1))
+        if remaining:
             supervised = (chaos is not None
                           or policy.timeout is not None
                           or effective_workers > 1)
             if supervised:
-                _Supervisor(trial_fn, todo, policy=policy,
+                _Supervisor(trial_fn, remaining, policy=policy,
                             master_seed=master_seed, label=label,
                             workers=effective_workers, chaos=chaos,
                             journal=journal_obj, outcomes=outcomes,
                             reports=reports, t0=t0).run()
             else:
-                _run_inline(trial_fn, todo, policy=policy,
+                _run_inline(trial_fn, remaining, policy=policy,
                             master_seed=master_seed, label=label,
                             journal=journal_obj, outcomes=outcomes,
                             reports=reports, t0=t0)

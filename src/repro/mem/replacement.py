@@ -19,7 +19,15 @@ from typing import List, Optional
 
 
 class ReplacementPolicy:
-    """Interface for per-set replacement policies."""
+    """Interface for per-set replacement policies.
+
+    Policies are instantiated once per cache but called on every
+    access of every set, so the concrete classes keep ``__slots__``
+    (no per-instance dict) and their hot loops hoist attribute and
+    bound-method lookups into locals.
+    """
+
+    __slots__ = ("ways",)
 
     def __init__(self, ways: int):
         if ways <= 0:
@@ -61,6 +69,8 @@ class ReplacementPolicy:
 class LRUPolicy(ReplacementPolicy):
     """True LRU: state is a recency list, most recent last."""
 
+    __slots__ = ()
+
     def new_state(self):
         return []
 
@@ -86,6 +96,8 @@ class LRUPolicy(ReplacementPolicy):
 
 class TreePLRUPolicy(ReplacementPolicy):
     """Binary-tree pseudo-LRU.  Requires a power-of-two way count."""
+
+    __slots__ = ()
 
     def __init__(self, ways: int):
         super().__init__(ways)
@@ -142,6 +154,8 @@ class TreePLRUPolicy(ReplacementPolicy):
 
 class RandomPolicy(ReplacementPolicy):
     """Seeded random replacement (deterministic across runs)."""
+
+    __slots__ = ("_rng",)
 
     def __init__(self, ways: int, seed: int = 0):
         super().__init__(ways)

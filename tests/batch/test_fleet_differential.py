@@ -1,0 +1,167 @@
+"""Differential testing of the batch fleet against scalar machines.
+
+Hypothesis generates random terminating programs plus random per-lane
+secrets; every fleet lane must end **bit-identical** to an
+independently-run scalar :class:`~repro.cpu.machine.Machine` with the
+same seed — full snapshot digest, MetricsRegistry counter dump and
+final architectural state, not just the extracted result.  Programs
+mix secret-dependent branches, secret-indexed loads and plain data
+flow so examples cover all three regimes: fully convergent fleets,
+partial divergence with peel-off, and everyone-peels.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.batch import FleetPlan, LaneInit, MachineFleet, make_ops
+from repro.batch.plan import build_lane_machine
+from repro.isa import instructions as ins
+from repro.isa.program import ProgramBuilder
+from repro.snapshot import MachineSnapshot
+
+DATA_BASE = 0x0010_0000
+N_WORDS = 8
+_DATA_REGS = ["r2", "r3", "r4", "r5", "r6"]
+
+
+def lane_init(seed, params):
+    """Per-lane data: N_WORDS random memory words and one register."""
+    rng = random.Random(seed)
+    mem = tuple((DATA_BASE + 8 * i, 8, rng.getrandbits(64))
+                for i in range(N_WORDS))
+    return LaneInit(mem=mem,
+                    regs=((0, "r7", rng.getrandbits(16)),))
+
+
+def extract(machine):
+    """Everything bit-exactness is judged on."""
+    context = machine.contexts[0]
+    return (MachineSnapshot.take(machine).digest(),
+            machine.metrics.dump(),
+            dict(context.int_regs), dict(context.fp_regs),
+            machine.cycle, context.stats.retired,
+            context.stats.squashed,
+            [machine.phys.read(DATA_BASE + 8 * i)
+             for i in range(N_WORDS)])
+
+
+def run_scalar(plan, seed, params):
+    machine = build_lane_machine(plan, seed, params)
+    machine.run_until_cycle(plan.max_cycles)
+    return extract(machine)
+
+
+@st.composite
+def _random_program(draw):
+    builder = ProgramBuilder("fleet-differential")
+    builder.li("r1", DATA_BASE)
+    for reg in _DATA_REGS:
+        builder.li(reg, draw(st.integers(0, 1 << 20)))
+    iterations = draw(st.integers(min_value=1, max_value=4))
+    builder.li("r0", iterations)
+    builder.label("loop")
+    for _ in range(draw(st.integers(min_value=2, max_value=8))):
+        kind = draw(st.sampled_from(
+            ["alu", "imm", "mul", "div", "load", "store",
+             "secret_load", "secret_branch", "fdiv"]))
+        rd = draw(st.sampled_from(_DATA_REGS))
+        rs1 = draw(st.sampled_from(_DATA_REGS))
+        rs2 = draw(st.sampled_from(_DATA_REGS))
+        offset = 8 * draw(st.integers(0, N_WORDS - 1))
+        if kind == "alu":
+            ctor = draw(st.sampled_from(
+                [ins.add, ins.sub, ins.xor, ins.and_, ins.or_]))
+            builder.emit(ctor(rd, rs1, rs2))
+        elif kind == "imm":
+            ctor = draw(st.sampled_from([ins.addi, ins.xori]))
+            builder.emit(ctor(rd, rs1, draw(st.integers(0, 255))))
+        elif kind == "mul":
+            builder.emit(ins.mul(rd, rs1, rs2))
+        elif kind == "div":
+            builder.emit(ins.div(rd, rs1, rs2))
+        elif kind == "load":
+            builder.emit(ins.load(rd, "r1", offset))
+            builder.emit(ins.xor(rd, rd, rs1))
+        elif kind == "store":
+            builder.emit(ins.store("r1", rs1, offset))
+        elif kind == "secret_load":
+            # Index memory by secret-derived data: lane-variant
+            # addresses, the "addr" divergence class.
+            builder.emit(ins.andi(rd, "r7",
+                                  8 * draw(st.sampled_from([1, 3, 7]))))
+            builder.emit(ins.add(rd, rd, "r1"))
+            builder.emit(ins.load(rd, rd, 0))
+        elif kind == "secret_branch":
+            # Branch on a secret-derived bit: the "branch" class.
+            builder.emit(ins.andi(rd, "r7", draw(st.integers(1, 15))))
+            label = f"sk{builder.next_index}"
+            builder.beq(rd, "r15", label)
+            builder.emit(ins.addi(rs1, rs1, 1))
+            builder.label(label)
+        else:  # fdiv
+            builder.emit(ins.fdiv("f1", "f2", "f3"))
+    builder.subi("r0", "r0", 1)
+    builder.bne("r0", "r15", "loop")
+    builder.halt()
+    return builder.build()
+
+
+@given(program=_random_program(),
+       seeds=st.lists(st.integers(0, 1 << 32), min_size=2,
+                      max_size=6, unique=True),
+       engine=st.sampled_from(["pure", "numpy"]),
+       sync_base=st.sampled_from([8, 64, 1024]))
+@settings(max_examples=25, deadline=None)
+def test_every_lane_bit_identical_to_scalar(program, seeds, engine,
+                                            sync_base):
+    plan = FleetPlan(programs=((0, program),), lane_init=lane_init,
+                     max_cycles=3_000_000, extract=extract)
+    lanes = [(seed, None) for seed in seeds]
+    fleet = MachineFleet(plan, lanes, ops=make_ops(engine),
+                         sync_base=sync_base)
+    outcomes = fleet.run()
+    assert len(outcomes) == len(lanes)
+    for outcome, (seed, params) in zip(outcomes, lanes):
+        assert outcome.error is None, (
+            f"lane {outcome.lane} raised {outcome.error!r}")
+        reference = run_scalar(plan, seed, params)
+        assert outcome.result == reference, (
+            f"lane {outcome.lane} (seed {seed}, "
+            f"peeled={outcome.peeled}, reason={outcome.reason}) "
+            f"diverged from its scalar run")
+
+
+@given(seeds=st.lists(st.integers(0, 1 << 32), min_size=3,
+                      max_size=8, unique=True))
+@settings(max_examples=10, deadline=None)
+def test_divergent_fleet_with_peel_off(seeds):
+    """A secret-dependent branch forces real peel-off; peeled and
+    batched lanes alike must match their scalar runs bit-for-bit."""
+    builder = ProgramBuilder("forced-divergence")
+    builder.li("r1", DATA_BASE)
+    builder.load("r2", "r1", 0)
+    builder.li("r3", 1 << 63)
+    builder.li("r4", 0)
+    # Taken for lanes whose first secret word has the top bit set.
+    builder.and_("r5", "r2", "r3")
+    builder.beq("r5", "r15", "low")
+    builder.addi("r4", "r4", 100)
+    builder.label("low")
+    builder.li("r0", 12)
+    builder.label("loop")
+    builder.mul("r4", "r4", "r2")
+    builder.addi("r4", "r4", 3)
+    builder.subi("r0", "r0", 1)
+    builder.bne("r0", "r15", "loop")
+    builder.halt()
+    program = builder.build()
+    plan = FleetPlan(programs=((0, program),), lane_init=lane_init,
+                     max_cycles=3_000_000, extract=extract)
+    lanes = [(seed, None) for seed in seeds]
+    fleet = MachineFleet(plan, lanes, sync_base=16)
+    outcomes = fleet.run()
+    for outcome, (seed, params) in zip(outcomes, lanes):
+        assert outcome.error is None
+        assert outcome.result == run_scalar(plan, seed, params)

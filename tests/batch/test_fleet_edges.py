@@ -1,0 +1,221 @@
+"""Lane-divergence edge cases: traps on the leader, fleet-wide
+squashes that are *not* divergence, and the single-lane degenerate
+fleet."""
+
+import pytest
+
+from repro.batch import FleetPlan, LaneInit, MachineFleet
+from repro.batch.plan import build_lane_machine, run_lane_scalar
+from repro.isa.program import ProgramBuilder
+from repro.mem.physical import PhysicalMemoryError
+from repro.snapshot import MachineSnapshot
+
+DATA_BASE = 0x0010_0000
+#: Far beyond the simulated DRAM: touching it raises
+#: PhysicalMemoryError on any scalar machine.
+BAD_BASE = 1 << 60
+
+
+def extract(machine):
+    context = machine.contexts[0]
+    return (MachineSnapshot.take(machine).digest(),
+            machine.metrics.dump(), dict(context.int_regs),
+            machine.cycle, context.stats.retired)
+
+
+def run_scalar(plan, seed, params):
+    machine = build_lane_machine(plan, seed, params)
+    machine.run_until_cycle(plan.max_cycles)
+    return extract(machine)
+
+
+def _pointer_chase_program():
+    """Load through a per-lane pointer, then a shared epilogue."""
+    return (ProgramBuilder("pointer-chase")
+            .load("r2", "r1", 0)
+            .addi("r2", "r2", 5)
+            .li("r0", 8)
+            .label("loop")
+            .mul("r2", "r2", "r2")
+            .subi("r0", "r0", 1)
+            .bne("r0", "r15", "loop")
+            .halt().build())
+
+
+def _trap_lane0_init(seed, params):
+    """Lane seed 0 (and only it) points at unreachable memory."""
+    base = BAD_BASE if seed == 0 else DATA_BASE
+    return LaneInit(regs=((0, "r1", base),),
+                    mem=((DATA_BASE, 8, 41 + seed),))
+
+
+def test_trap_on_lane_zero_only():
+    """The leader (lane 0) traps; followers must still complete
+    bit-identically to their scalar runs, and lane 0's outcome must
+    carry the same exception its scalar run raises."""
+    plan = FleetPlan(programs=((0, _pointer_chase_program()),),
+                     lane_init=_trap_lane0_init, max_cycles=1_000_000,
+                     extract=extract)
+    lanes = [(0, None), (7, None), (9, None), (11, None)]
+    outcomes = MachineFleet(plan, lanes).run()
+
+    assert isinstance(outcomes[0].error, PhysicalMemoryError)
+    with pytest.raises(PhysicalMemoryError):
+        run_lane_scalar(plan, 0, None)
+    for outcome, (seed, params) in zip(outcomes[1:], lanes[1:]):
+        assert outcome.error is None
+        assert outcome.result == run_scalar(plan, seed, params)
+
+
+def test_trap_on_follower_lane_only():
+    """A single follower traps; the leader and the other followers
+    stay batched and bit-identical."""
+    def init(seed, params):
+        base = BAD_BASE if seed == 3 else DATA_BASE
+        return LaneInit(regs=((0, "r1", base),),
+                        mem=((DATA_BASE, 8, 41 + seed),))
+
+    plan = FleetPlan(programs=((0, _pointer_chase_program()),),
+                     lane_init=init, max_cycles=1_000_000,
+                     extract=extract)
+    lanes = [(1, None), (2, None), (3, None), (4, None)]
+    outcomes = MachineFleet(plan, lanes).run()
+    for outcome, (seed, params) in zip(outcomes, lanes):
+        if seed == 3:
+            assert isinstance(outcome.error, PhysicalMemoryError)
+            with pytest.raises(PhysicalMemoryError):
+                run_lane_scalar(plan, seed, params)
+        else:
+            assert outcome.error is None
+            assert outcome.result == run_scalar(plan, seed, params)
+
+
+def test_simultaneous_squash_on_all_lanes_stays_batched():
+    """A mispredicted branch squashes in-flight work on *every* lane
+    at once — but identically, because the branch operands are
+    lane-invariant.  That is a fleet-wide squash, not divergence: no
+    lane may peel."""
+    program = (ProgramBuilder("shared-squash")
+               .li("r1", DATA_BASE)
+               .load("r2", "r1", 0)       # lane-variant data
+               .li("r0", 20)
+               .label("loop")
+               .mul("r2", "r2", "r2")     # tainted compute in flight
+               .addi("r2", "r2", 1)
+               .subi("r0", "r0", 1)
+               .bne("r0", "r15", "loop")  # mispredicts identically
+               .halt().build())
+
+    def init(seed, params):
+        return LaneInit(mem=((DATA_BASE, 8, 1000 + seed),))
+
+    plan = FleetPlan(programs=((0, program),), lane_init=init,
+                     max_cycles=1_000_000, extract=extract)
+    lanes = [(seed, None) for seed in range(5)]
+    fleet = MachineFleet(plan, lanes, sync_base=8)
+    outcomes = fleet.run()
+
+    assert fleet.stats["peeled"] == 0
+    probe = build_lane_machine(plan, 0, None)
+    probe.run_until_cycle(plan.max_cycles)
+    assert probe.contexts[0].stats.squash_events > 0, \
+        "workload no longer squashes; the test lost its point"
+    for outcome, (seed, params) in zip(outcomes, lanes):
+        assert outcome.error is None
+        assert not outcome.peeled
+        assert outcome.result == run_scalar(plan, seed, params)
+
+
+def test_squashed_speculative_load_in_heap_is_lane_patched():
+    """Memory-order replay regression (found by Hypothesis): a
+    speculative load reads lane-variant memory before an older store's
+    address resolves, gets squashed and refetched — but the dead entry
+    lingers in the event heap past HALT and is part of the bit-exact
+    capture.  Each materialized lane must carry *its own* stale
+    speculative value in that heap entry, not the leader's."""
+    program = (ProgramBuilder("replay-ghost")
+               .li("r1", DATA_BASE)
+               .li("r2", 0).li("r3", 0).li("r4", 0)
+               .li("r5", 0).li("r6", 0)
+               .li("r0", 1)
+               .label("loop")
+               .fdiv("f1", "f2", "f3")
+               .add("r2", "r2", "r2")
+               .mul("r2", "r2", "r2")
+               .store("r1", "r2", 0)
+               .add("r2", "r2", "r2")
+               .load("r2", "r1", 0)
+               .xor("r2", "r2", "r2")
+               .subi("r0", "r0", 1)
+               .bne("r0", "r15", "loop")
+               .halt().build())
+
+    def init(seed, params):
+        # Word 0 is what the squashed load speculatively reads; make
+        # it (and the rest) lane-variant.
+        return LaneInit(mem=tuple((DATA_BASE + 8 * i, 8,
+                                   (seed + 1) * 0x0101010101 + i)
+                                  for i in range(4)))
+
+    plan = FleetPlan(programs=((0, program),), lane_init=init,
+                     max_cycles=1_000_000, extract=extract)
+    probe = build_lane_machine(plan, 0, None)
+    probe.run_until_cycle(plan.max_cycles)
+    assert probe.contexts[0].stats.replays > 0, \
+        "workload no longer triggers a memory-order replay; the " \
+        "test lost its point"
+
+    lanes = [(seed, None) for seed in range(3)]
+    fleet = MachineFleet(plan, lanes, sync_base=8)
+    outcomes = fleet.run()
+    assert fleet.stats["peeled"] == 0
+    for outcome, (seed, params) in zip(outcomes, lanes):
+        assert outcome.error is None
+        assert outcome.result == run_scalar(plan, seed, params)
+
+
+def test_single_lane_fleet_degenerates_to_scalar():
+    """n=1: no followers, no windows, no taint — the leader simply
+    runs the plan like a plain scalar machine."""
+    program = (ProgramBuilder("solo")
+               .li("r1", DATA_BASE)
+               .load("r2", "r1", 0)
+               .li("r0", 6)
+               .label("loop")
+               .xor("r2", "r2", "r0")
+               .mul("r2", "r2", "r2")
+               .subi("r0", "r0", 1)
+               .bne("r0", "r15", "loop")
+               .halt().build())
+
+    def init(seed, params):
+        return LaneInit(mem=((DATA_BASE, 8, 0xfeed + seed),))
+
+    plan = FleetPlan(programs=((0, program),), lane_init=init,
+                     max_cycles=1_000_000, extract=extract)
+    fleet = MachineFleet(plan, [(42, None)])
+    outcomes = fleet.run()
+    assert len(outcomes) == 1
+    assert fleet.stats["windows"] == 0
+    assert fleet.stats["peeled"] == 0
+    assert not outcomes[0].peeled
+    assert outcomes[0].result == run_scalar(plan, 42, None)
+    assert not fleet.reg_taint and not fleet.mem_taint
+
+
+def test_empty_fleet_rejected():
+    plan = FleetPlan(programs=(), lane_init=lambda s, p: LaneInit(),
+                     max_cycles=1, extract=lambda m: None)
+    with pytest.raises(ValueError):
+        MachineFleet(plan, [])
+
+
+def test_conflicting_lane_init_widths_rejected():
+    def init(seed, params):
+        width = 8 if seed == 0 else 4
+        return LaneInit(mem=((DATA_BASE, width, 1),))
+
+    plan = FleetPlan(programs=(), lane_init=init, max_cycles=1,
+                     extract=lambda m: None)
+    with pytest.raises(ValueError, match="width"):
+        MachineFleet(plan, [(0, None), (1, None)])
