@@ -37,7 +37,10 @@ The public surface is promoted to this top level (and snapshotted by
 Configuration lives in :mod:`repro.config`, sweep execution (plain
 and fault-tolerant) in :mod:`repro.harness`, and the facade itself in
 :mod:`repro.experiment`; the deeper module paths all remain public
-for code that wants one abstraction level down.
+for code that wants one abstraction level down.  Long-running
+evaluation work can also be submitted to the job service
+(``python -m repro serve``; :mod:`repro.service`) instead of
+executing in-process — see ``docs/SERVICE.md``.
 """
 
 from repro.batch import (
@@ -100,10 +103,11 @@ from repro.memo import (
     trial_key,
 )
 from repro.observability import EventTracer, MetricsRegistry
+from repro.service import JobSpec, ServiceClient, ServiceError
 from repro.sgx.enclave import EnclaveConfig
 from repro.snapshot import MachineSnapshot, state_digest, warm_start
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AESCacheAttack",
@@ -124,6 +128,7 @@ __all__ = [
     "FleetPlan",
     "FleetTrial",
     "HierarchyConfig",
+    "JobSpec",
     "KernelConfig",
     "LaneInit",
     "LaneOutcome",
@@ -140,6 +145,8 @@ __all__ = [
     "PWCConfig",
     "PortContentionAttack",
     "Replayer",
+    "ServiceClient",
+    "ServiceError",
     "SweepJournal",
     "SweepReport",
     "TLBConfig",

@@ -1,13 +1,22 @@
-"""Command-line demo front end: ``python -m repro <demo>``.
+"""Command-line front end: ``python -m repro <command>``.
 
-Runs compact versions of the headline experiments without leaving the
-terminal.  For the full harness use ``pytest benchmarks/
---benchmark-only -s`` and the scripts in ``examples/``.
+Two families of commands:
+
+* **demos** — compact versions of the headline experiments
+  (``port-contention``, ``aes``, ``key-recovery``, ``defenses``,
+  ``matrix``);
+* **service** — the experiment job server and its client
+  (``serve``, ``submit``, ``status``, ``watch``, ``jobs``); see
+  ``docs/SERVICE.md``.
+
+Run with no (or an unknown) command to get the usage summary on
+stderr and exit status 2.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 
@@ -98,10 +107,87 @@ def _demo_matrix(args):
               f"{degraded} degraded)")
 
 
+# --- service commands -----------------------------------------------------
+
+
+def _client(args):
+    from repro.service import ServiceClient
+    if args.host is not None and args.port is not None:
+        return ServiceClient(address=(args.host, args.port))
+    return ServiceClient(state_dir=args.state_dir)
+
+
+def _spec_from_args(args):
+    from repro.service import JobSpec
+    return JobSpec(
+        attacks=tuple(args.attacks) if args.attacks else (),
+        defenses=tuple(args.defenses) if args.defenses else (),
+        overrides=json.loads(args.overrides) if args.overrides else {},
+        master_seed=args.master_seed, label=args.label,
+        backend=args.backend, workers=args.workers)
+
+
+def _emit(payload) -> None:
+    print(json.dumps(payload, sort_keys=True))
+
+
+def _cmd_serve(args):
+    from repro.service import serve
+
+    def announce(server):
+        print(f"repro service listening on "
+              f"{server.host}:{server.port} "
+              f"(state: {server.state_dir})", flush=True)
+
+    serve(args.state_dir, host=args.host or "127.0.0.1",
+          port=args.port or 0, cache_dir=args.cache_dir,
+          on_ready=announce)
+
+
+def _cmd_submit(args):
+    client = _client(args)
+    submitted = client.submit(_spec_from_args(args))
+    _emit(submitted)
+    if args.wait:
+        status = client.wait(submitted["job"], timeout=args.timeout)
+        _emit(status)
+        if status["state"] != "done":
+            return 1
+    return 0
+
+
+def _cmd_status(args):
+    status = _client(args).status(args.job)
+    status.pop("ok", None)
+    _emit(status)
+    return 0
+
+
+def _cmd_watch(args):
+    for event in _client(args).watch(args.job):
+        _emit(event)
+    return 0
+
+
+def _cmd_jobs(args):
+    for status in _client(args).jobs():
+        _emit(status)
+    return 0
+
+
+def _add_endpoint_args(parser) -> None:
+    parser.add_argument("--state-dir", default=None,
+                        help="server state directory "
+                             "(its endpoint.json locates the server)")
+    parser.add_argument("--host", default=None)
+    parser.add_argument("--port", type=int, default=None)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="MicroScope reproduction demos")
+        description="MicroScope reproduction demos and the "
+                    "experiment job service")
     sub = parser.add_subparsers(dest="demo", required=True)
     port = sub.add_parser("port-contention",
                           help="Figure 10 in miniature")
@@ -130,9 +216,58 @@ def main(argv=None) -> int:
                         help="disable the trial cache even if "
                              "--cache-dir/$REPRO_CACHE_DIR is set")
     matrix.set_defaults(fn=_demo_matrix)
+
+    serve = sub.add_parser(
+        "serve", help="run the experiment job server")
+    serve.add_argument("--state-dir", required=True,
+                       help="directory for jobs, journals and the "
+                            "shared trial store")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="0 picks an ephemeral port "
+                            "(written to endpoint.json)")
+    serve.add_argument("--cache-dir", default=None,
+                       help="trial store directory "
+                            "(default: <state-dir>/store)")
+    serve.set_defaults(fn=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit a matrix job to a running server")
+    _add_endpoint_args(submit)
+    submit.add_argument("--attacks", nargs="*", default=None)
+    submit.add_argument("--defenses", nargs="*", default=None)
+    submit.add_argument("--overrides", default=None,
+                        help="per-attack overrides as JSON, e.g. "
+                             '\'{"port-contention": '
+                             '{"measurements": 400}}\'')
+    submit.add_argument("--master-seed", type=int, default=None)
+    submit.add_argument("--label", default=None)
+    submit.add_argument("--backend", default="scalar")
+    submit.add_argument("--workers", type=int, default=1)
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the job finishes "
+                             "(exit 1 if it fails)")
+    submit.add_argument("--timeout", type=float, default=None)
+    submit.set_defaults(fn=_cmd_submit)
+
+    status = sub.add_parser(
+        "status", help="one job's state, progress and metrics")
+    _add_endpoint_args(status)
+    status.add_argument("job")
+    status.set_defaults(fn=_cmd_status)
+
+    watch = sub.add_parser(
+        "watch", help="stream a job's progress events")
+    _add_endpoint_args(watch)
+    watch.add_argument("job")
+    watch.set_defaults(fn=_cmd_watch)
+
+    jobs = sub.add_parser("jobs", help="list every job")
+    _add_endpoint_args(jobs)
+    jobs.set_defaults(fn=_cmd_jobs)
+
     args = parser.parse_args(argv)
-    args.fn(args)
-    return 0
+    return args.fn(args) or 0
 
 
 if __name__ == "__main__":

@@ -43,6 +43,8 @@ from repro.evaluation.matrix import (
     EvaluationMatrix,
     MatrixCell,
     MatrixRunner,
+    build_matrix,
+    matrix_params,
 )
 
 __all__ = [
@@ -59,8 +61,10 @@ __all__ = [
     "MatrixCell",
     "MatrixRunner",
     "attack_names",
+    "build_matrix",
     "classify_cell",
     "defense_names",
+    "matrix_params",
     "get_attack",
     "get_defense",
 ]

@@ -169,9 +169,64 @@ class EvaluationMatrix:
         return "\n".join(lines)
 
 
+def matrix_params(attacks: Sequence[str], defenses: Sequence[str],
+                  overrides: Mapping[str, Mapping[str, Any]]
+                  ) -> List[Tuple[str, str, Dict[str, Any]]]:
+    """The sweep parameter list for a matrix: attacks-outer,
+    defenses-inner, one picklable ``(attack, defense, overrides)``
+    tuple per cell — the trial order every cell seed derives from."""
+    return [(a, d, dict(overrides.get(a, {})))
+            for a in attacks for d in defenses]
+
+
+def build_matrix(attacks: Sequence[str], defenses: Sequence[str],
+                 params: Sequence[Tuple[str, str, Any]],
+                 results: Sequence[Any], *, master_seed: int,
+                 label: str) -> EvaluationMatrix:
+    """Classify raw cell payloads into an :class:`EvaluationMatrix`.
+
+    *results* are the sweep outcomes in trial order (``None`` marks a
+    cell skipped by the fault policy).  Shared by
+    :meth:`MatrixRunner.run` and the job service, so a matrix
+    assembled from a service journal is bit-identical to one run
+    inline.
+    """
+    cells: Dict[Tuple[str, str], MatrixCell] = {}
+    for index, ((attack, defense, _), payload) in enumerate(
+            zip(params, results)):
+        if payload is None:
+            metrics = CellMetrics(
+                error="trial skipped by fault policy",
+                chance=get_attack(attack).chance)
+        else:
+            metrics = CellMetrics.from_dict(payload)
+        cells[(attack, defense)] = MatrixCell(
+            attack=attack, defense=defense, metrics=metrics,
+            seed=derive_seed(master_seed, index, label))
+    for (attack, defense), cell in cells.items():
+        baseline = cells.get((attack, "none"))
+        cell.classification = classify_cell(
+            cell.metrics,
+            baseline.metrics if baseline is not None
+            and defense != "none" else None)
+    return EvaluationMatrix(
+        master_seed=master_seed, label=label,
+        attacks=tuple(attacks), defenses=tuple(defenses), cells=cells)
+
+
 @dataclass
 class MatrixRunner:
-    """Configure and execute the matrix sweep."""
+    """Configure and execute the matrix sweep.
+
+    With ``service=`` set (a :class:`repro.service.ServiceClient`, an
+    ``(host, port)`` address tuple, or a server state directory),
+    :meth:`run` does not execute cells in this process at all: it
+    submits the matrix as a job to a running experiment service
+    (``python -m repro serve``), waits for completion, and rebuilds
+    the :class:`EvaluationMatrix` from the service's payload — which
+    is bit-identical to a local run because the service executes the
+    very same cell trials under the same seed lineage.
+    """
 
     #: Rows/columns to run; empty = every registered one.
     attacks: Sequence[str] = ()
@@ -193,10 +248,16 @@ class MatrixRunner:
     store: Any = None
     metrics: Any = None
     tracer: Any = None
+    #: A running experiment service to submit through instead of
+    #: executing locally: a ``repro.service.ServiceClient``, an
+    #: ``(host, port)`` tuple, or a server state directory.
+    service: Any = None
     #: The :class:`~repro.experiment.ExperimentReport` of the last
     #: :meth:`run` — cache hit/miss accounting lives here, *not* in
     #: the :class:`EvaluationMatrix` (whose serialised form must stay
-    #: byte-identical whether or not a cache served it).
+    #: byte-identical whether or not a cache served it).  ``None``
+    #: after a service-routed run (the accounting lives on the
+    #: service's status endpoint).
     last_run_report: Any = field(default=None, init=False,
                                  repr=False, compare=False)
 
@@ -209,11 +270,37 @@ class MatrixRunner:
             get_defense(name)
         return attacks, defenses
 
+    def _run_via_service(self, attacks: Tuple[str, ...],
+                         defenses: Tuple[str, ...]) -> EvaluationMatrix:
+        """Submit the matrix as a service job and await the payload."""
+        from repro.service import JobSpec, ServiceClient
+        if isinstance(self.service, ServiceClient):
+            client = self.service
+        elif isinstance(self.service, tuple):
+            client = ServiceClient(address=self.service)
+        else:
+            client = ServiceClient(state_dir=self.service)
+        spec = JobSpec(
+            attacks=attacks, defenses=defenses,
+            overrides={a: dict(o) for a, o in self.overrides.items()},
+            master_seed=self.master_seed, label=self.label,
+            backend="scalar", workers=self.workers or 1)
+        submitted = client.submit(spec)
+        status = client.wait(submitted["job"])
+        if status["state"] != "done":
+            raise RuntimeError(
+                f"service job {submitted['job']} ended "
+                f"{status['state']!r}: {status.get('error')}")
+        self.last_run_report = None
+        return EvaluationMatrix.from_dict(client.result(
+            submitted["job"]))
+
     def run(self) -> EvaluationMatrix:
         """Execute every cell and classify against the baselines."""
         attacks, defenses = self._axes()
-        params = [(a, d, dict(self.overrides.get(a, {})))
-                  for a in attacks for d in defenses]
+        if self.service is not None:
+            return self._run_via_service(attacks, defenses)
+        params = matrix_params(attacks, defenses, self.overrides)
         report = Experiment(
             trial=_cell_trial, sweep=params,
             master_seed=self.master_seed, label=self.label,
@@ -222,26 +309,6 @@ class MatrixRunner:
             store=self.store, metrics=self.metrics,
             tracer=self.tracer).run()
         self.last_run_report = report
-
-        cells: Dict[Tuple[str, str], MatrixCell] = {}
-        for index, ((attack, defense, _), payload) in enumerate(
-                zip(params, report.results)):
-            if payload is None:
-                metrics = CellMetrics(
-                    error="trial skipped by fault policy",
-                    chance=get_attack(attack).chance)
-            else:
-                metrics = CellMetrics.from_dict(payload)
-            cells[(attack, defense)] = MatrixCell(
-                attack=attack, defense=defense, metrics=metrics,
-                seed=derive_seed(self.master_seed, index,
-                                 self.label))
-        for (attack, defense), cell in cells.items():
-            baseline = cells.get((attack, "none"))
-            cell.classification = classify_cell(
-                cell.metrics,
-                baseline.metrics if baseline is not None
-                and defense != "none" else None)
-        return EvaluationMatrix(
-            master_seed=self.master_seed, label=self.label,
-            attacks=attacks, defenses=defenses, cells=cells)
+        return build_matrix(attacks, defenses, params, report.results,
+                            master_seed=self.master_seed,
+                            label=self.label)

@@ -7,6 +7,10 @@ such trials across worker processes — and keeps the sweep alive when
 workers misbehave:
 
 * :mod:`repro.harness.pool` — order-preserving process-pool plumbing;
+* :mod:`repro.harness.backends` — the pluggable
+  :class:`ExecutionBackend` layer (inline / supervised pool /
+  lockstep batch fleet, plus auto-selecting ``scalar``) every trial
+  dispatch path runs through;
 * :mod:`repro.harness.sweep` — deterministic seed derivation, the
   :func:`run_sweep` driver, and merge helpers;
 * :mod:`repro.harness.resilience` — the fault-tolerant layer:
@@ -29,6 +33,17 @@ are also invariant to the failure schedule for trials whose outcome
 is a pure function of their parameters and seed.
 """
 
+from repro.harness.backends import (
+    BatchBackend,
+    ExecutionBackend,
+    ExecutionRequest,
+    InlineBackend,
+    PoolBackend,
+    ScalarBackend,
+    backend_names,
+    register_backend,
+    resolve_backend,
+)
 from repro.harness.chaos import FAULT_KINDS, ChaosError, ChaosPlan
 from repro.harness.journal import (
     JournalError,
@@ -59,9 +74,15 @@ from repro.harness.sweep import (
 __all__ = [
     "FAULT_KINDS",
     "SKIPPED",
+    "BatchBackend",
     "ChaosError",
     "ChaosPlan",
+    "ExecutionBackend",
+    "ExecutionRequest",
     "FaultPolicy",
+    "InlineBackend",
+    "PoolBackend",
+    "ScalarBackend",
     "JournalError",
     "JournalMismatch",
     "ResilientSweepResult",
@@ -72,8 +93,11 @@ __all__ = [
     "Trial",
     "TrialAttempt",
     "TrialReport",
+    "backend_names",
     "collect_sweep_reports",
     "default_workers",
+    "register_backend",
+    "resolve_backend",
     "derive_seed",
     "merge_ordered",
     "run_batched",

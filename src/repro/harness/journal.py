@@ -76,12 +76,17 @@ class SweepJournal:
         journal.close()
     """
 
-    def __init__(self, path) -> None:
+    def __init__(self, path, *, atomic: bool = False) -> None:
         self.path = Path(path)
         self._fh = None
         self._label = ""
         self._master_seed = 0
         self._trial_count = 0
+        #: With ``atomic=True`` every record is appended with a single
+        #: ``os.write`` on the O_APPEND descriptor, so multiple
+        #: processes/threads sharing one journal (the service's
+        #: sharded cell workers) never interleave bytes mid-line.
+        self._atomic = atomic
         #: Trials dropped at load time for failing integrity checks.
         self.discarded = 0
 
@@ -111,6 +116,28 @@ class SweepJournal:
                                             trial_count),
             })
         return completed
+
+    def bind(self, label: str, master_seed: int,
+             trial_count: int) -> "SweepJournal":
+        """Set the sweep identity without opening the file for
+        append — for read-only consumers (:meth:`peek` pollers) that
+        must never write a header."""
+        self._label = label
+        self._master_seed = master_seed
+        self._trial_count = trial_count
+        return self
+
+    def peek(self) -> Dict[int, Tuple[int, Any]]:
+        """Completed trials currently on disk, re-read fresh.
+
+        Requires a prior :meth:`open` or :meth:`bind` (the integrity
+        checks need the sweep identity).  Safe while other processes
+        are appending: a torn tail degrades to "not completed yet"
+        exactly as on resume.
+        """
+        if not self.path.exists() or self.path.stat().st_size == 0:
+            return {}
+        return self._load()
 
     def close(self) -> None:
         if self._fh is not None:
@@ -143,8 +170,14 @@ class SweepJournal:
         })
 
     def _append(self, record: Dict[str, Any]) -> None:
-        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
-        self._fh.flush()
+        line = json.dumps(record, sort_keys=True) + "\n"
+        if self._atomic:
+            # One os.write per record on the O_APPEND descriptor:
+            # concurrent appenders cannot interleave within a line.
+            os.write(self._fh.fileno(), line.encode("utf-8"))
+        else:
+            self._fh.write(line)
+            self._fh.flush()
         os.fsync(self._fh.fileno())
 
     # --- loading ----------------------------------------------------------

@@ -42,13 +42,9 @@ fault-free run.
 
 from __future__ import annotations
 
-import hashlib
-import heapq
-import pickle
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from multiprocessing.connection import wait as _connection_wait
 from typing import (
     Any,
     Callable,
@@ -57,11 +53,10 @@ from typing import (
     List,
     Optional,
     Sequence,
-    Tuple,
 )
 
 from repro.harness.journal import SweepJournal
-from repro.harness.pool import _mp_context, default_workers
+from repro.harness.pool import default_workers
 from repro.harness.sweep import SweepResult, Trial, TrialFn, derive_seed
 
 #: Attempt outcomes, in severity order.  "ok" terminates the ladder;
@@ -324,412 +319,6 @@ def collect_sweep_reports() -> Iterator[List[SweepReport]]:
         _report_collector = previous
 
 
-# --- worker side ----------------------------------------------------------
-
-
-def _attempt_worker(fn, params, seed, chaos, index, attempt, conn):
-    """Run one attempt in a worker process and ship the result with an
-    integrity digest.  Chaos hooks run here — inside the blast radius
-    the supervisor is designed to contain."""
-    try:
-        if chaos is not None:
-            chaos.before(index, attempt)
-        result = fn(params, seed)
-        payload = pickle.dumps(result,
-                               protocol=pickle.HIGHEST_PROTOCOL)
-        digest = hashlib.sha256(payload).hexdigest()
-        if chaos is not None:
-            payload = chaos.mangle(index, attempt, payload)
-        conn.send_bytes(pickle.dumps(("ok", digest, payload)))
-    except BaseException as exc:  # noqa: BLE001 — must report, not die
-        try:
-            conn.send_bytes(pickle.dumps(
-                ("error", f"{type(exc).__name__}: {exc}")))
-        except Exception:
-            pass
-    finally:
-        try:
-            conn.close()
-        except Exception:
-            pass
-
-
-# --- supervisor -----------------------------------------------------------
-
-
-@dataclass
-class _InFlight:
-    trial: Trial
-    attempt: int
-    seed: int
-    process: Any
-    conn: Any
-    started: float       # seconds since sweep start
-    deadline: Optional[float]
-
-
-class _TrialState:
-    __slots__ = ("trial", "attempts")
-
-    def __init__(self, trial: Trial):
-        self.trial = trial
-        self.attempts: List[TrialAttempt] = []
-
-
-class _Supervisor:
-    """Bounded-parallelism process supervisor with a watchdog."""
-
-    def __init__(self, trial_fn: TrialFn, todo: Sequence[Trial], *,
-                 policy: FaultPolicy, master_seed: int, label: str,
-                 workers: int, chaos: Any,
-                 journal: Optional[SweepJournal],
-                 outcomes: Dict[int, Any],
-                 reports: Dict[int, TrialReport],
-                 t0: float):
-        self.trial_fn = trial_fn
-        self.policy = policy
-        self.master_seed = master_seed
-        self.label = label
-        self.workers = max(workers, 1)
-        self.chaos = chaos
-        self.journal = journal
-        self.outcomes = outcomes
-        self.reports = reports
-        self.t0 = t0
-        self.ctx = _mp_context()
-        self.states = {t.index: _TrialState(t) for t in todo}
-        #: (ready_at, tie-break, trial, attempt) — backoff scheduling.
-        self._pending: List[Tuple[float, int, Trial, int]] = []
-        self._tick = 0
-        for trial in todo:
-            self._push(trial, attempt=0, ready_at=0.0)
-        self.inflight: Dict[Any, _InFlight] = {}
-
-    # --- time -------------------------------------------------------------
-
-    def _now(self) -> float:
-        return time.perf_counter() - self.t0
-
-    # --- scheduling -------------------------------------------------------
-
-    def _push(self, trial: Trial, attempt: int,
-              ready_at: float) -> None:
-        self._tick += 1
-        heapq.heappush(self._pending,
-                       (ready_at, self._tick, trial, attempt))
-
-    def _seed_for(self, trial: Trial, attempt: int) -> int:
-        if attempt == 0:
-            return trial.seed
-        return derive_seed(self.master_seed, trial.index, self.label,
-                           attempt)
-
-    def _spawn(self, trial: Trial, attempt: int) -> None:
-        seed = self._seed_for(trial, attempt)
-        recv_conn, send_conn = self.ctx.Pipe(duplex=False)
-        process = self.ctx.Process(
-            target=_attempt_worker,
-            args=(self.trial_fn, trial.params, seed, self.chaos,
-                  trial.index, attempt, send_conn),
-            daemon=True)
-        process.start()
-        # Close the parent's copy of the write end: the child dying is
-        # then guaranteed to surface as EOF on recv_conn.
-        send_conn.close()
-        now = self._now()
-        deadline = (None if self.policy.timeout is None
-                    else now + self.policy.timeout)
-        self.inflight[recv_conn] = _InFlight(
-            trial=trial, attempt=attempt, seed=seed, process=process,
-            conn=recv_conn, started=now, deadline=deadline)
-
-    # --- reaping ----------------------------------------------------------
-
-    def _dispose(self, flight: _InFlight, kill: bool = False) -> None:
-        if kill:
-            flight.process.terminate()
-            flight.process.join(timeout=0.5)
-            if flight.process.is_alive():
-                flight.process.kill()
-        flight.process.join(timeout=10)
-        try:
-            flight.conn.close()
-        except Exception:
-            pass
-
-    def _reap_timeout(self, flight: _InFlight) -> None:
-        self.inflight.pop(flight.conn, None)
-        self._dispose(flight, kill=True)
-        self._failure(flight, "timeout",
-                      f"attempt exceeded the "
-                      f"{self.policy.timeout}s watchdog deadline")
-
-    # --- outcome bookkeeping ----------------------------------------------
-
-    def _attempt_record(self, flight: _InFlight,
-                        outcome: str, error: str) -> TrialAttempt:
-        return TrialAttempt(
-            attempt=flight.attempt, outcome=outcome, seed=flight.seed,
-            started=flight.started,
-            duration=max(self._now() - flight.started, 0.0),
-            error=error)
-
-    def _success(self, flight: _InFlight, result: Any) -> None:
-        state = self.states[flight.trial.index]
-        state.attempts.append(
-            self._attempt_record(flight, "ok", ""))
-        self.outcomes[flight.trial.index] = result
-        self.reports[flight.trial.index] = TrialReport(
-            index=flight.trial.index, attempts=state.attempts,
-            resolution="ok")
-        if self.journal is not None:
-            self.journal.record(flight.trial.index, flight.attempt,
-                                flight.seed, result)
-
-    def _failure(self, flight: _InFlight, outcome: str,
-                 error: str) -> None:
-        # The flight is already out of self.inflight by the time any
-        # failure is recorded.
-        state = self.states[flight.trial.index]
-        state.attempts.append(
-            self._attempt_record(flight, outcome, error))
-        next_attempt = flight.attempt + 1
-        if next_attempt < self.policy.max_attempts:
-            self._push(flight.trial, next_attempt,
-                       self._now() + self.policy.backoff(next_attempt))
-            return
-        self._exhausted(flight.trial, state)
-
-    def _exhausted(self, trial: Trial, state: _TrialState) -> None:
-        policy = self.policy
-        if policy.on_exhausted == "raise":
-            self.reports[trial.index] = TrialReport(
-                index=trial.index, attempts=state.attempts,
-                resolution="failed")
-            self._shutdown()
-            raise SweepFailure(trial.index, state.attempts)
-        if policy.on_exhausted == "skip":
-            self.outcomes[trial.index] = SKIPPED
-            resolution = "skipped"
-        else:
-            self.outcomes[trial.index] = policy.default
-            resolution = "defaulted"
-        self.reports[trial.index] = TrialReport(
-            index=trial.index, attempts=state.attempts,
-            resolution=resolution)
-
-    def _shutdown(self) -> None:
-        """Kill and reap every in-flight worker (abort path)."""
-        for flight in list(self.inflight.values()):
-            self._dispose(flight, kill=True)
-        self.inflight.clear()
-
-    # --- main loop --------------------------------------------------------
-
-    def run(self) -> None:
-        try:
-            self._loop()
-        except BaseException:
-            self._shutdown()
-            raise
-
-    def _loop(self) -> None:
-        while self._pending or self.inflight:
-            now = self._now()
-            while (self._pending
-                   and len(self.inflight) < self.workers
-                   and self._pending[0][0] <= now):
-                _ready, _tick, trial, attempt = \
-                    heapq.heappop(self._pending)
-                self._spawn(trial, attempt)
-            if not self.inflight:
-                # Everything runnable is in backoff: sleep it off.
-                wait_for = max(self._pending[0][0] - self._now(), 0.0)
-                if wait_for:
-                    time.sleep(min(wait_for, 0.25))
-                continue
-            timeout = self._wait_budget()
-            ready = _connection_wait(list(self.inflight.keys()),
-                                     timeout)
-            for conn in ready:
-                flight = self.inflight.pop(conn, None)
-                if flight is not None:
-                    self._reap(flight)
-            now = self._now()
-            for flight in [f for f in self.inflight.values()
-                           if f.deadline is not None
-                           and f.deadline <= now]:
-                self._reap_timeout(flight)
-
-    def _reap(self, flight: _InFlight) -> None:
-        """The worker's pipe became readable: result, error or EOF.
-        *flight* is already out of ``self.inflight``."""
-        try:
-            blob = flight.conn.recv_bytes()
-        except (EOFError, OSError):
-            self._dispose(flight)
-            code = flight.process.exitcode
-            self._failure(flight, "crash",
-                          f"worker died without a result "
-                          f"(exit code {code})")
-            return
-        self._dispose(flight)
-        try:
-            message = pickle.loads(blob)
-        except Exception as exc:
-            self._failure(flight, "corrupt",
-                          f"undecodable worker envelope: {exc}")
-            return
-        if message[0] == "error":
-            self._failure(flight, "exception", message[1])
-            return
-        _tag, digest, payload = message
-        if hashlib.sha256(payload).hexdigest() != digest:
-            self._failure(flight, "corrupt",
-                          "result payload failed its integrity digest")
-            return
-        try:
-            result = pickle.loads(payload)
-        except Exception as exc:
-            self._failure(flight, "corrupt",
-                          f"result payload failed to unpickle: {exc}")
-            return
-        if self.policy.verify is not None \
-                and not self.policy.verify(result):
-            self._failure(flight, "rejected",
-                          "verify hook rejected the result")
-            return
-        self._success(flight, result)
-
-    def _wait_budget(self) -> float:
-        """Seconds to block in connection-wait: until the earliest
-        watchdog deadline or backoff expiry, capped for liveness."""
-        now = self._now()
-        horizon = 0.25
-        deadlines = [f.deadline for f in self.inflight.values()
-                     if f.deadline is not None]
-        if deadlines:
-            horizon = min(horizon, max(min(deadlines) - now, 0.0))
-        if self._pending and len(self.inflight) < self.workers:
-            horizon = min(horizon,
-                          max(self._pending[0][0] - now, 0.0))
-        return max(horizon, 0.0)
-
-
-# --- inline reference path ------------------------------------------------
-
-
-def _run_inline(trial_fn: TrialFn, todo: Sequence[Trial], *,
-                policy: FaultPolicy, master_seed: int, label: str,
-                journal: Optional[SweepJournal],
-                outcomes: Dict[int, Any],
-                reports: Dict[int, TrialReport], t0: float) -> None:
-    """Single-worker, no-watchdog path: runs attempts in-process (no
-    pickling), which is the reference execution the supervised path
-    must reproduce."""
-    for trial in todo:
-        attempts: List[TrialAttempt] = []
-        resolved = False
-        for attempt in range(policy.max_attempts):
-            if attempt:
-                delay = policy.backoff(attempt)
-                if delay:
-                    time.sleep(delay)
-            seed = (trial.seed if attempt == 0
-                    else derive_seed(master_seed, trial.index, label,
-                                     attempt))
-            started = time.perf_counter() - t0
-            try:
-                result = trial_fn(trial.params, seed)
-                duration = time.perf_counter() - t0 - started
-                if policy.verify is not None \
-                        and not policy.verify(result):
-                    attempts.append(TrialAttempt(
-                        attempt=attempt, outcome="rejected",
-                        seed=seed, started=started, duration=duration,
-                        error="verify hook rejected the result"))
-                    continue
-                attempts.append(TrialAttempt(
-                    attempt=attempt, outcome="ok", seed=seed,
-                    started=started, duration=duration))
-                outcomes[trial.index] = result
-                reports[trial.index] = TrialReport(
-                    index=trial.index, attempts=attempts,
-                    resolution="ok")
-                if journal is not None:
-                    journal.record(trial.index, attempt, seed, result)
-                resolved = True
-                break
-            except Exception as exc:
-                duration = time.perf_counter() - t0 - started
-                attempts.append(TrialAttempt(
-                    attempt=attempt, outcome="exception", seed=seed,
-                    started=started, duration=duration,
-                    error=f"{type(exc).__name__}: {exc}"))
-        if resolved:
-            continue
-        if policy.on_exhausted == "raise":
-            reports[trial.index] = TrialReport(
-                index=trial.index, attempts=attempts,
-                resolution="failed")
-            raise SweepFailure(trial.index, attempts)
-        if policy.on_exhausted == "skip":
-            outcomes[trial.index] = SKIPPED
-            resolution = "skipped"
-        else:
-            outcomes[trial.index] = policy.default
-            resolution = "defaulted"
-        reports[trial.index] = TrialReport(
-            index=trial.index, attempts=attempts,
-            resolution=resolution)
-
-
-# --- batch-fleet pre-pass -------------------------------------------------
-
-
-def _fleet_prepass(trial_fn: TrialFn, todo: Sequence[Trial], *,
-                   journal: Optional[SweepJournal],
-                   outcomes: Dict[int, Any],
-                   reports: Dict[int, TrialReport],
-                   t0: float) -> List[Trial]:
-    """Resolve what the batch fleet can; return the trials that still
-    need the scalar retry ladder.
-
-    Every lane that completes becomes an attempt-0 "ok" resolution
-    (journalled like any first-attempt success); a lane that errors is
-    handed to the ladder *without* recording an attempt, so its retry
-    budget and seed lineage are untouched — the ladder reruns it
-    scalar from attempt 0 exactly as if the fleet had never existed.
-    Any failure of the fleet machinery itself degrades silently to the
-    full scalar path: resilience never trades fault tolerance for
-    throughput.
-    """
-    started = time.perf_counter() - t0
-    try:
-        from repro.batch.fleet import MachineFleet
-        plan = trial_fn.fleet_plan  # type: ignore[attr-defined]
-        lane_outcomes = MachineFleet(
-            plan, [(t.seed, t.params) for t in todo]).run()
-    except Exception:
-        return list(todo)
-    duration = max(time.perf_counter() - t0 - started, 0.0)
-    remaining: List[Trial] = []
-    for trial, lane in zip(todo, lane_outcomes):
-        if lane.error is not None:
-            remaining.append(trial)
-            continue
-        outcomes[trial.index] = lane.result
-        reports[trial.index] = TrialReport(
-            index=trial.index,
-            attempts=[TrialAttempt(attempt=0, outcome="ok",
-                                   seed=trial.seed, started=started,
-                                   duration=duration)],
-            resolution="ok")
-        if journal is not None:
-            journal.record(trial.index, 0, trial.seed, lane.result)
-    return remaining
-
-
 # --- driver ---------------------------------------------------------------
 
 
@@ -779,30 +368,33 @@ def run_resilient_sweep(trial_fn: TrialFn, params: Sequence[Any], *,
     exactly like fresh ones — a rejected or corrupt record is a miss
     that recomputes, never a wrong result.
 
-    Execution path selection: with no chaos, no watchdog timeout and
-    one worker, trials run inline in this process (bit-compatible with
-    ``run_sweep(workers=1)`` plus retries); otherwise every attempt
-    gets its own supervised worker process.
+    Execution is delegated to a pluggable
+    :class:`~repro.harness.backends.ExecutionBackend` named by
+    *backend* (or an instance passed directly):
 
-    ``backend="batch"`` (requires a *trial_fn* carrying a
-    ``fleet_plan``; see :class:`repro.batch.FleetTrial`) runs a fleet
-    pre-pass over the unresolved trials first: lanes the fleet
-    completes resolve as ordinary attempt-0 successes (journalled and
-    store-persisted like any other), lanes that error fall through to
-    the scalar retry ladder with their full attempt budget, and any
-    failure of the fleet itself silently degrades to the all-scalar
-    path.  The pre-pass is skipped under chaos injection — chaos
-    faults target per-attempt workers, which the fleet would bypass.
+    * ``"scalar"`` (default) auto-selects — with no chaos, no
+      watchdog timeout and one worker, trials run inline in this
+      process (bit-compatible with ``run_sweep(workers=1)`` plus
+      retries); otherwise every attempt gets its own supervised
+      worker process;
+    * ``"inline"`` / ``"pool"`` force those two paths explicitly;
+    * ``"batch"`` (requires a *trial_fn* carrying a ``fleet_plan``;
+      see :class:`repro.batch.FleetTrial`) runs a fleet pre-pass
+      over the unresolved trials first: lanes the fleet completes
+      resolve as ordinary attempt-0 successes (journalled and
+      store-persisted like any other), lanes that error fall through
+      to the scalar retry ladder with their full attempt budget, and
+      any failure of the fleet itself silently degrades to the
+      all-scalar path.  The pre-pass is skipped under chaos
+      injection — chaos faults target per-attempt workers, which the
+      fleet would bypass.
+
+    All backends produce bit-identical results for the same inputs
+    (``tests/harness/test_backends.py``).
     """
-    if backend not in ("scalar", "batch"):
-        raise ValueError(f"unknown sweep backend {backend!r}; "
-                         f"expected 'scalar' or 'batch'")
-    if (backend == "batch"
-            and getattr(trial_fn, "fleet_plan", None) is None):
-        raise ValueError(
-            "backend='batch' needs a trial function that carries a "
-            "fleet_plan attribute (see repro.batch.FleetTrial); "
-            f"{trial_fn!r} does not")
+    from repro.harness.backends import ExecutionRequest, resolve_backend
+    backend_obj = resolve_backend(backend)
+    backend_obj.validate(trial_fn)
     policy = policy or FaultPolicy()
     params = list(params)
     trials = [Trial(index=i,
@@ -849,33 +441,23 @@ def run_resilient_sweep(trial_fn: TrialFn, params: Sequence[Any], *,
     effective_workers = min(effective_workers, max(len(todo), 1))
 
     t0 = time.perf_counter()
+    request: Optional[ExecutionRequest] = None
     try:
-        remaining = todo
-        if todo and backend == "batch" and chaos is None:
-            remaining = _fleet_prepass(trial_fn, todo,
-                                       journal=journal_obj,
-                                       outcomes=outcomes,
-                                       reports=reports, t0=t0)
-            effective_workers = min(effective_workers,
-                                    max(len(remaining), 1))
-        if remaining:
-            supervised = (chaos is not None
-                          or policy.timeout is not None
-                          or effective_workers > 1)
-            if supervised:
-                _Supervisor(trial_fn, remaining, policy=policy,
-                            master_seed=master_seed, label=label,
-                            workers=effective_workers, chaos=chaos,
-                            journal=journal_obj, outcomes=outcomes,
-                            reports=reports, t0=t0).run()
-            else:
-                _run_inline(trial_fn, remaining, policy=policy,
-                            master_seed=master_seed, label=label,
-                            journal=journal_obj, outcomes=outcomes,
-                            reports=reports, t0=t0)
+        if todo:
+            request = ExecutionRequest(
+                trial_fn=trial_fn, todo=todo, policy=policy,
+                master_seed=master_seed, label=label,
+                workers=effective_workers, chaos=chaos,
+                journal=journal_obj, outcomes=outcomes,
+                reports=reports, t0=t0)
+            backend_obj.execute(request)
     finally:
         if journal_obj is not None:
             journal_obj.close()
+    if request is not None:
+        # Backends may clamp the worker count (e.g. the batch
+        # pre-pass shrinking the remainder); report what actually ran.
+        effective_workers = request.workers
 
     if store_obj is not None:
         # Persist first-attempt successes only: a retry ran with an

@@ -1,0 +1,154 @@
+"""Blocking client for the experiment service.
+
+A :class:`ServiceClient` talks the line-JSON protocol to a running
+:class:`~repro.service.server.ExperimentServer`.  Connect by explicit
+``(host, port)`` address, or — the usual path — by pointing at the
+server's state directory, whose ``endpoint.json`` the server writes
+on boot::
+
+    client = ServiceClient(state_dir="/tmp/repro-service")
+    job = client.submit(JobSpec(attacks=("cf-cache",)))["job"]
+    status = client.wait(job)
+    matrix = EvaluationMatrix.from_dict(client.result(job))
+
+One socket connection per request keeps the client trivially
+re-entrant and restart-proof: if the server died and came back on a
+new port, the next request re-reads ``endpoint.json`` and lands on
+the live instance.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from repro.service.jobs import JobSpec
+from repro.service.protocol import recv_line, send_line
+from repro.service.server import ENDPOINT_FILE
+
+
+class ServiceError(RuntimeError):
+    """The service refused a request (or cannot be reached)."""
+
+
+class ServiceClient:
+    """Blocking line-JSON client; see the module docstring."""
+
+    def __init__(self, address: Optional[Tuple[str, int]] = None,
+                 state_dir: Any = None,
+                 timeout: Optional[float] = 60.0) -> None:
+        if address is None and state_dir is None:
+            raise ValueError(
+                "ServiceClient needs address=(host, port) or "
+                "state_dir=<server state directory>")
+        self._address = address
+        self._state_dir = (Path(state_dir)
+                           if state_dir is not None else None)
+        self.timeout = timeout
+
+    # --- plumbing ---------------------------------------------------------
+
+    def _endpoint(self) -> Tuple[str, int]:
+        if self._address is not None:
+            return self._address
+        assert self._state_dir is not None
+        path = self._state_dir / ENDPOINT_FILE
+        try:
+            endpoint = json.loads(path.read_text())
+            return endpoint["host"], int(endpoint["port"])
+        except (OSError, ValueError, KeyError) as exc:
+            raise ServiceError(
+                f"no running service at {self._state_dir} "
+                f"(cannot read {path}: {exc})") from exc
+
+    def _request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        host, port = self._endpoint()
+        try:
+            with socket.create_connection(
+                    (host, port), timeout=self.timeout) as sock:
+                send_line(sock, message)
+                with sock.makefile("rb") as fh:
+                    reply = recv_line(fh)
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot reach service at {host}:{port}: {exc}"
+            ) from exc
+        if reply is None:
+            raise ServiceError("service closed the connection "
+                               "without replying")
+        if not reply.get("ok", False):
+            raise ServiceError(reply.get("error")
+                               or "service refused the request")
+        return reply
+
+    # --- operations -------------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        """Liveness probe; returns the server's pid."""
+        return self._request({"op": "ping"})
+
+    def submit(self, spec: JobSpec) -> Dict[str, Any]:
+        """Submit a job; returns ``{"job": id, "state": ...}``.
+        Resubmitting an identical spec maps to the same job (and
+        therefore resumes rather than recomputes)."""
+        return self._request({"op": "submit",
+                              "spec": spec.to_dict()})
+
+    def status(self, job: str) -> Dict[str, Any]:
+        """One job's status payload (state, progress, metrics)."""
+        return self._request({"op": "status", "job": job})
+
+    def jobs(self) -> Any:
+        """Status payloads for every job the server knows."""
+        return self._request({"op": "jobs"})["jobs"]
+
+    def result(self, job: str) -> Dict[str, Any]:
+        """The finished job's ``EvaluationMatrix.to_dict()`` payload
+        (raises :class:`ServiceError` unless the job is done)."""
+        return self._request({"op": "result", "job": job})["result"]
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask the server to stop."""
+        return self._request({"op": "shutdown"})
+
+    def watch(self, job: str) -> Iterator[Dict[str, Any]]:
+        """Stream a job's progress events (one dict per event) until
+        it reaches a terminal state."""
+        host, port = self._endpoint()
+        with socket.create_connection(
+                (host, port), timeout=self.timeout) as sock:
+            send_line(sock, {"op": "watch", "job": job})
+            with sock.makefile("rb") as fh:
+                while True:
+                    event = recv_line(fh)
+                    if event is None:
+                        return
+                    if event.get("ok") is False:
+                        raise ServiceError(event.get("error")
+                                           or "watch refused")
+                    yield event
+                    if event.get("event") == "state" and \
+                            event.get("state") in ("done", "failed"):
+                        return
+
+    def wait(self, job: str, *, timeout: Optional[float] = None,
+             poll: float = 0.1) -> Dict[str, Any]:
+        """Block until *job* is done or failed; returns the final
+        status payload."""
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        while True:
+            status = self.status(job)
+            if status["state"] in ("done", "failed"):
+                return status
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServiceError(
+                    f"timed out waiting for job {job} "
+                    f"(last state {status['state']!r})")
+            time.sleep(poll)
+
+
+__all__ = ["ServiceClient", "ServiceError"]

@@ -1,0 +1,149 @@
+"""Journal-as-coordination-log cell claiming.
+
+Multiple workers (threads of one server, or a restarted server
+picking a job back up) shard a job's cells by *claiming* them in an
+append-only JSONL ledger that sits next to the sweep journal.  The
+protocol needs nothing beyond POSIX ``O_APPEND`` atomicity:
+
+* a **claim** is one appended line ``{"kind": "claim", "index": i,
+  "worker": w, "nonce": n, "expires": t}``; because each append is a
+  single ``os.write`` on an ``O_APPEND`` descriptor, concurrent
+  claims never interleave mid-line;
+* conflicts resolve by *file order*: the first live (unexpired,
+  current-epoch) claim line for an index wins; a worker that appended
+  a later line for the same index simply does not own it and moves
+  on;
+* an **epoch** line voids every claim before it — a restarting server
+  appends one so cells claimed by its dead predecessor become
+  claimable again immediately instead of waiting out the lease;
+* **leases**: claims expire after ``lease`` seconds of wall clock, so
+  a worker that dies mid-cell (without a server restart) self-heals —
+  some other worker re-claims once the lease lapses.
+
+The ledger only coordinates *who runs what*; the sweep journal
+remains the single source of truth for *what is done*.  Re-running a
+cell someone already journalled is therefore only waste, never
+corruption — executors check the journal before honouring a claim.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+LEDGER_VERSION = 1
+
+#: Default claim lease in seconds — generous against slow cells, small
+#: against a stuck worker holding a shard hostage.
+DEFAULT_LEASE = 300.0
+
+
+class CellLedger:
+    """Append-only claim ledger for one job's cells.
+
+    Every mutation is a single ``O_APPEND`` write; every read re-reads
+    the file.  Corrupt lines (torn tail from a crash mid-append) are
+    skipped — a lost claim line merely means the cell gets claimed
+    again.
+    """
+
+    def __init__(self, path, *, lease: float = DEFAULT_LEASE) -> None:
+        self.path = Path(path)
+        self.lease = float(lease)
+        self._nonce = 0
+
+    # --- appending --------------------------------------------------------
+
+    def _append(self, record: Dict) -> None:
+        line = (json.dumps(record, sort_keys=True) + "\n").encode()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(self.path,
+                     os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, line)
+        finally:
+            os.close(fd)
+
+    def epoch(self, worker: str) -> None:
+        """Void every claim appended so far — the restart fence."""
+        self._append({"kind": "epoch", "version": LEDGER_VERSION,
+                      "worker": worker, "time": time.time()})
+
+    def claim(self, worker: str,
+              indices: Sequence[int]) -> List[int]:
+        """Try to claim *indices*; return the subset actually won.
+
+        Appends one claim line per index, then re-reads the ledger:
+        an index is ours iff our line (matched by worker + nonce) is
+        the first live claim for it.  Losing a race is silent — the
+        winner runs the cell.
+        """
+        if not indices:
+            return []
+        self._nonce += 1
+        nonce = f"{os.getpid()}:{self._nonce}"
+        now = time.time()
+        for index in indices:
+            self._append({
+                "kind": "claim", "index": int(index),
+                "worker": worker, "nonce": nonce,
+                "expires": now + self.lease,
+            })
+        owners = self._owners(now=time.time())
+        return [i for i in indices
+                if owners.get(int(i)) == (worker, nonce)]
+
+    # --- reading ----------------------------------------------------------
+
+    def _records(self) -> Iterable[Dict]:
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return
+        for line in text.splitlines():
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn append; later lines are still whole
+            if isinstance(record, dict):
+                yield record
+
+    def _owners(self, now: Optional[float] = None
+                ) -> Dict[int, tuple]:
+        """Index → (worker, nonce) of the winning live claim."""
+        if now is None:
+            now = time.time()
+        owners: Dict[int, tuple] = {}
+        for record in self._records():
+            kind = record.get("kind")
+            if kind == "epoch":
+                owners.clear()
+                continue
+            if kind != "claim":
+                continue
+            try:
+                index = int(record["index"])
+                expires = float(record["expires"])
+                key = (record["worker"], record["nonce"])
+            except (KeyError, TypeError, ValueError):
+                continue
+            if expires <= now:
+                continue
+            owners.setdefault(index, key)
+        return owners
+
+    def claimed(self) -> Dict[int, str]:
+        """Index → owning worker, for every live claim."""
+        return {index: key[0]
+                for index, key in self._owners().items()}
+
+    def unclaimed(self, indices: Sequence[int]) -> List[int]:
+        """The subset of *indices* with no live claim."""
+        owners = self._owners()
+        return [i for i in indices if int(i) not in owners]
+
+
+__all__ = ["DEFAULT_LEASE", "LEDGER_VERSION", "CellLedger"]

@@ -1,0 +1,103 @@
+"""The ``python -m repro`` command-line front end.
+
+Exit-code contract: no subcommand or an unknown subcommand prints the
+usage summary on stderr and exits 2 (the argparse convention scripts
+and CI steps rely on); ``--help`` exits 0.
+"""
+
+import os
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def run_cli(*argv, timeout=60):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True, text=True, env=env, timeout=timeout)
+
+
+def test_no_subcommand_prints_usage_and_exits_2():
+    proc = run_cli()
+    assert proc.returncode == 2
+    assert "usage: python -m repro" in proc.stderr
+    assert proc.stdout == ""
+
+
+def test_unknown_subcommand_prints_usage_and_exits_2():
+    proc = run_cli("frobnicate")
+    assert proc.returncode == 2
+    assert "usage: python -m repro" in proc.stderr
+    assert "invalid choice: 'frobnicate'" in proc.stderr
+
+
+def test_help_exits_0_and_lists_commands():
+    proc = run_cli("--help")
+    assert proc.returncode == 0
+    for command in ("matrix", "serve", "submit", "status", "watch",
+                    "jobs"):
+        assert command in proc.stdout
+
+
+def test_bad_flag_exits_2():
+    proc = run_cli("matrix", "--no-such-flag")
+    assert proc.returncode == 2
+
+
+def test_main_is_callable_with_argv():
+    """main(argv) raises SystemExit(2) on bad input instead of
+    killing the interpreter some other way."""
+    from repro.__main__ import main
+    with pytest.raises(SystemExit) as excinfo:
+        main([])
+    assert excinfo.value.code == 2
+
+
+def test_serve_submit_status_round_trip(tmp_path):
+    """The service subcommands end to end through the real CLI."""
+    import json
+
+    from repro.service import ServiceClient, serve
+
+    state = tmp_path / "state"
+    ready = threading.Event()
+
+    def boot():
+        serve(state, on_ready=lambda s: ready.set())
+
+    thread = threading.Thread(target=boot, daemon=True)
+    thread.start()
+    assert ready.wait(15)
+    try:
+        submit = run_cli(
+            "submit", "--state-dir", str(state),
+            "--attacks", "cf-cache", "--defenses", "none", "fences",
+            "--wait", timeout=120)
+        assert submit.returncode == 0, submit.stderr
+        lines = [json.loads(line)
+                 for line in submit.stdout.splitlines()]
+        assert lines[-1]["state"] == "done"
+        jid = lines[0]["job"]
+
+        status = run_cli("status", "--state-dir", str(state), jid)
+        assert status.returncode == 0
+        assert json.loads(status.stdout)["state"] == "done"
+
+        jobs = run_cli("jobs", "--state-dir", str(state))
+        assert any(json.loads(line)["job"] == jid
+                   for line in jobs.stdout.splitlines())
+
+        watch = run_cli("watch", "--state-dir", str(state), jid)
+        events = [json.loads(line)
+                  for line in watch.stdout.splitlines()]
+        assert events[-1]["state"] == "done"
+    finally:
+        ServiceClient(state_dir=state).shutdown()
+        thread.join(timeout=15)

@@ -1,0 +1,84 @@
+"""The append-only cell claim ledger."""
+
+import json
+
+from repro.service import CellLedger
+
+
+def test_claim_wins_unclaimed_cells(tmp_path):
+    ledger = CellLedger(tmp_path / "ledger.jsonl")
+    assert ledger.claim("w1", [0, 1, 2]) == [0, 1, 2]
+    assert ledger.claimed() == {0: "w1", 1: "w1", 2: "w1"}
+
+
+def test_first_claim_in_file_order_wins(tmp_path):
+    path = tmp_path / "ledger.jsonl"
+    first = CellLedger(path)
+    second = CellLedger(path)
+    assert first.claim("w1", [0, 1]) == [0, 1]
+    # w2's later lines lose the already-claimed cells, win the rest.
+    assert second.claim("w2", [1, 2]) == [2]
+    assert second.claimed() == {0: "w1", 1: "w1", 2: "w2"}
+
+
+def test_unclaimed_filters_live_claims(tmp_path):
+    ledger = CellLedger(tmp_path / "ledger.jsonl")
+    ledger.claim("w1", [1, 3])
+    assert ledger.unclaimed([0, 1, 2, 3, 4]) == [0, 2, 4]
+
+
+def test_epoch_voids_prior_claims(tmp_path):
+    path = tmp_path / "ledger.jsonl"
+    dead = CellLedger(path)
+    dead.claim("dead-server", [0, 1, 2, 3])
+    survivor = CellLedger(path)
+    survivor.epoch("new-server")
+    assert survivor.claimed() == {}
+    assert survivor.claim("new-server", [0, 1]) == [0, 1]
+
+
+def test_lease_expiry_frees_cells(tmp_path):
+    path = tmp_path / "ledger.jsonl"
+    stuck = CellLedger(path, lease=0.0)  # expires immediately
+    stuck.claim("stuck", [0])
+    healthy = CellLedger(path, lease=300.0)
+    assert healthy.unclaimed([0]) == [0]
+    assert healthy.claim("healthy", [0]) == [0]
+
+
+def test_corrupt_lines_are_skipped(tmp_path):
+    path = tmp_path / "ledger.jsonl"
+    ledger = CellLedger(path)
+    ledger.claim("w1", [0])
+    with open(path, "ab") as fh:
+        fh.write(b'{"kind": "claim", "index": 1, "wor"\n')  # corrupt
+    # The corrupt line is ignored; the whole file stays usable.
+    assert ledger.claimed() == {0: "w1"}
+    assert ledger.claim("w2", [1]) == [1]
+
+
+def test_torn_tail_loses_only_itself(tmp_path):
+    """A crash mid-append leaves an unterminated line; the next
+    append merges with it and both are discarded as corrupt.  The
+    affected cell is merely unclaimed again — never wrongly owned."""
+    path = tmp_path / "ledger.jsonl"
+    ledger = CellLedger(path)
+    with open(path, "ab") as fh:
+        fh.write(b'{"kind": "claim", "index": 0, "wor')  # torn tail
+    first = ledger.claim("w2", [0])   # merges into the torn line
+    assert first == []                # lost — but not wrongly won
+    assert ledger.claim("w2", [0]) == [0]  # clean retry succeeds
+
+
+def test_claims_are_single_lines(tmp_path):
+    path = tmp_path / "ledger.jsonl"
+    CellLedger(path).claim("w", [0, 1])
+    for line in path.read_text().splitlines():
+        record = json.loads(line)
+        assert record["kind"] == "claim"
+
+
+def test_missing_file_is_empty(tmp_path):
+    ledger = CellLedger(tmp_path / "nope.jsonl")
+    assert ledger.claimed() == {}
+    assert ledger.unclaimed([0, 1]) == [0, 1]

@@ -1,0 +1,47 @@
+"""The newline-JSON wire format."""
+
+import io
+
+import pytest
+
+from repro.service.protocol import (
+    ProtocolError,
+    decode,
+    encode,
+    recv_line,
+)
+
+
+def test_encode_decode_roundtrip():
+    message = {"op": "submit", "spec": {"attacks": ["cf-cache"]}}
+    assert decode(encode(message)) == message
+
+
+def test_encode_is_one_sorted_line():
+    line = encode({"b": 1, "a": 2})
+    assert line.endswith(b"\n")
+    assert line.count(b"\n") == 1
+    assert line.index(b'"a"') < line.index(b'"b"')
+
+
+def test_decode_rejects_garbage():
+    with pytest.raises(ProtocolError, match="undecodable"):
+        decode(b"{not json}\n")
+
+
+def test_decode_rejects_non_object():
+    with pytest.raises(ProtocolError, match="object"):
+        decode(b"[1, 2, 3]\n")
+
+
+def test_recv_line_roundtrip_and_eof():
+    fh = io.BytesIO(encode({"ok": True}) + encode({"n": 2}))
+    assert recv_line(fh) == {"ok": True}
+    assert recv_line(fh) == {"n": 2}
+    assert recv_line(fh) is None
+
+
+def test_recv_line_torn_tail():
+    fh = io.BytesIO(b'{"ok": true}')  # no newline: cut mid-line
+    with pytest.raises(ProtocolError, match="mid-line"):
+        recv_line(fh)
