@@ -6,10 +6,10 @@ Run:  python examples/defenses_tour.py
 """
 
 from repro.core.replayer import AttackEnvironment, Replayer
-from repro.defenses.dejavu import evaluate_dejavu
-from repro.defenses.fences import evaluate_fence_on_flush
-from repro.defenses.pf_oblivious import evaluate_pf_obliviousness
-from repro.defenses.tsgx import evaluate_tsgx
+from repro.evaluation.defenses.dejavu import evaluate_dejavu
+from repro.evaluation.defenses.fences import evaluate_fence_on_flush
+from repro.evaluation.defenses.pf_oblivious import evaluate_pf_obliviousness
+from repro.evaluation.defenses.tsgx import evaluate_tsgx
 
 
 def main():

@@ -13,7 +13,7 @@ cycle-level simulator written from scratch:
 * :mod:`repro.victims` -- the paper's victim/monitor programs;
 * :mod:`repro.core` -- MicroScope itself: recipes, kernel module,
   Replayer, attacks and analysis;
-* :mod:`repro.defenses` -- the Section 8 countermeasures;
+* :mod:`repro.evaluation.defenses` -- the Section 8 countermeasures;
 * :mod:`repro.baselines` -- the Table-1 comparison attacks;
 * :mod:`repro.evaluation` -- the attack x defense matrix behind
   ``docs/RESULTS.md``;
@@ -21,7 +21,11 @@ cycle-level simulator written from scratch:
   (replay-window memoization + content-addressed trial store);
 * :mod:`repro.batch` -- the lockstep machine fleet: N same-program
   lanes stepped for roughly the cost of one, bit-identical to scalar
-  runs (``run_sweep(..., backend="batch")``).
+  runs (``run_sweep(..., backend="batch")``);
+* :mod:`repro.oracle` -- the taint-tracking leakage oracle: "does
+  this defense work" as a checkable information-flow property
+  (``Experiment(oracle=True)``, ``MatrixRunner(oracle=True)``,
+  ``python -m repro oracle``; see ``docs/ORACLE.md``).
 
 The public surface is promoted to this top level (and snapshotted by
 ``tests/api/api_surface.json``), so everyday use is one import::
@@ -103,11 +107,18 @@ from repro.memo import (
     trial_key,
 )
 from repro.observability import EventTracer, MetricsRegistry
+from repro.oracle import (
+    LeakageEvent,
+    LeakageSummary,
+    OracleConfig,
+    TaintOracle,
+    oracle_consistency_verify,
+)
 from repro.service import JobSpec, ServiceClient, ServiceError
 from repro.sgx.enclave import EnclaveConfig
 from repro.snapshot import MachineSnapshot, state_digest, warm_start
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "AESCacheAttack",
@@ -132,6 +143,8 @@ __all__ = [
     "KernelConfig",
     "LaneInit",
     "LaneOutcome",
+    "LeakageEvent",
+    "LeakageSummary",
     "Machine",
     "MachineConfig",
     "MachineFleet",
@@ -142,6 +155,7 @@ __all__ = [
     "MetricsRegistry",
     "MicroScopeConfig",
     "ModExpExtractionAttack",
+    "OracleConfig",
     "PWCConfig",
     "PortContentionAttack",
     "Replayer",
@@ -151,6 +165,7 @@ __all__ = [
     "SweepReport",
     "TLBConfig",
     "TLBHierarchyConfig",
+    "TaintOracle",
     "TrialStore",
     "Unmemoizable",
     "WindowMemo",
@@ -159,6 +174,7 @@ __all__ = [
     "derive_seed",
     "from_dict",
     "merge_ordered",
+    "oracle_consistency_verify",
     "resolve_store",
     "run_figure10",
     "run_fleet",

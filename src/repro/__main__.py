@@ -4,7 +4,7 @@ Two families of commands:
 
 * **demos** — compact versions of the headline experiments
   (``port-contention``, ``aes``, ``key-recovery``, ``defenses``,
-  ``matrix``);
+  ``matrix``, ``oracle``);
 * **service** — the experiment job server and its client
   (``serve``, ``submit``, ``status``, ``watch``, ``jobs``); see
   ``docs/SERVICE.md``.
@@ -66,8 +66,8 @@ def _demo_key(args):
 
 
 def _demo_defenses(args):
-    from repro.defenses.fences import evaluate_fence_on_flush
-    from repro.defenses.tsgx import evaluate_tsgx
+    from repro.evaluation.defenses.fences import evaluate_fence_on_flush
+    from repro.evaluation.defenses.tsgx import evaluate_tsgx
     fence = evaluate_fence_on_flush(replays=8)
     print(f"fence-on-flush: leaked transmits "
           f"{fence.transmit_issues_undefended} -> "
@@ -105,6 +105,23 @@ def _demo_matrix(args):
               f"{cache.get('misses', 0)} misses, "
               f"{cache.get('stores', 0)} stored, "
               f"{degraded} degraded)")
+
+
+def _demo_oracle(args):
+    from repro.tools import oraclecheck
+    argv = []
+    if args.attacks:
+        argv += ["--attacks", *args.attacks]
+    if args.defenses:
+        argv += ["--defenses", *args.defenses]
+    argv += ["--samples", str(args.samples)]
+    if args.workers is not None:
+        argv += ["--workers", str(args.workers)]
+    if args.cache_dir:
+        argv += ["--cache-dir", args.cache_dir]
+    if args.json:
+        argv.append("--json")
+    return oraclecheck.main(argv)
 
 
 # --- service commands -----------------------------------------------------
@@ -216,6 +233,17 @@ def main(argv=None) -> int:
                         help="disable the trial cache even if "
                              "--cache-dir/$REPRO_CACHE_DIR is set")
     matrix.set_defaults(fn=_demo_matrix)
+
+    oracle = sub.add_parser(
+        "oracle", help="taint-oracle vs statistical-verdict "
+                       "cross-check (repro.tools.oraclecheck)")
+    oracle.add_argument("--attacks", nargs="*", default=None)
+    oracle.add_argument("--defenses", nargs="*", default=None)
+    oracle.add_argument("--samples", type=int, default=600)
+    oracle.add_argument("--workers", type=int, default=None)
+    oracle.add_argument("--cache-dir", default=None)
+    oracle.add_argument("--json", action="store_true")
+    oracle.set_defaults(fn=_demo_oracle)
 
     serve = sub.add_parser(
         "serve", help="run the experiment job server")

@@ -19,6 +19,7 @@ from repro.core.replayer import AttackEnvironment, Replayer
 from repro.cpu.traps import TrapAction
 from repro.isa.program import Program, ProgramBuilder
 from repro.kernel.process import Process
+from repro.oracle.runtime import note_secret_write
 from repro.vm import address as vaddr
 
 
@@ -79,7 +80,7 @@ class ControlledChannelAttack:
     #: this page-granular channel cannot see through.
     oblivious: bool = False
     #: Optional victim transform applied before launch (e.g.
-    #: ``repro.defenses.tsgx.wrap_with_tsgx``): a callable
+    #: ``repro.evaluation.defenses.tsgx.wrap_with_tsgx``): a callable
     #: ``(program, process) -> program``.
     victim_wrapper: Optional[
         Callable[[Program, Process], Program]] = None
@@ -94,6 +95,7 @@ class ControlledChannelAttack:
         pageB_va = victim_proc.alloc(4096, "cc-pageB")
         pageC_va = victim_proc.alloc(4096, "cc-pageC")
         victim_proc.write(secret_va, secret)
+        note_secret_write(victim_proc, secret_va)
         program = build_page_secret_victim(
             handle_va, secret_va, pageB_va, pageC_va, same_page,
             oblivious=self.oblivious)

@@ -28,6 +28,7 @@ from repro.core.recipes import (
 from repro.core.replayer import AttackEnvironment, Replayer
 from repro.isa.program import Program, ProgramBuilder
 from repro.kernel.process import Process
+from repro.oracle.runtime import note_secret_write
 from repro.victims.common import REPLAY_HANDLE, TRANSMIT
 
 
@@ -53,6 +54,7 @@ def setup_cache_cf_victim(process: Process, secret: int) -> CacheCFVictim:
     else:
         secret_va = process.alloc(4096, "cfc-secret")
     process.write(secret_va, secret)
+    note_secret_write(process, secret_va)
     lineB_va = data_va          # line 0
     lineC_va = data_va + 512    # line 8
     b = ProgramBuilder("control-flow-cache")

@@ -19,6 +19,7 @@ from repro.cpu.machine import Machine
 from repro.kernel.kernel import Kernel, KernelConfig
 from repro.kernel.process import Process
 from repro.kernel.shm import SharedChannel
+from repro.oracle.runtime import note_machine as _oracle_note_machine
 from repro.sgx.enclave import EnclaveConfig, SGXPlatform
 from repro.snapshot import MachineSnapshot
 
@@ -56,6 +57,10 @@ class Replayer:
     def __init__(self, env: Optional[AttackEnvironment] = None,
                  memo: Optional[object] = None, **env_kwargs):
         self.env = env or AttackEnvironment.build(**env_kwargs)
+        # Warm-started environments were built outside any oracle
+        # activation; (re)offer the machine so an active oracle's hub
+        # attaches before the trial runs (idempotent, no-op when idle).
+        _oracle_note_machine(self.env.machine)
         self.machine = self.env.machine
         self.kernel = self.env.kernel
         self.sgx = self.env.sgx

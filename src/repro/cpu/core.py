@@ -105,6 +105,10 @@ class Core:
         #: Called when a non-squashed, non-faulted entry completes,
         #: just before its value is distributed to dependents.
         self.complete_hooks: List[Callable[[HardwareContext, ROBEntry], None]] = []
+        #: Optional leakage-oracle hub (repro.oracle) receiving squash
+        #: notifications with the triggering entry; None when no oracle
+        #: has ever been attached (the zero-cost default).
+        self.oracle = None
         # Transaction aborts triggered by cache evictions land here.
         hierarchy.l1.add_evict_observer(self._on_l1_evict)
 
@@ -245,10 +249,13 @@ class Core:
     # ------------------------------------------------------------------
 
     def _note_squash(self, context: HardwareContext, squashed,
-                     reason: str):
+                     reason: str, trigger: Optional[ROBEntry] = None):
         context.note_squashed(squashed)
         if self.tracer is not None and squashed:
             self.tracer.on_squash(self.cycle, squashed, reason)
+        if self.oracle is not None:
+            self.oracle.on_squash(self.cycle, context, squashed, reason,
+                                  trigger)
 
     def _schedule(self, entry: ROBEntry, latency: int):
         entry.state = EntryState.EXECUTING
@@ -310,7 +317,7 @@ class Core:
     def _handle_mispredict(self, entry: ROBEntry):
         context = self.contexts[entry.context_id]
         squashed = context.rob.squash_younger_than(entry.seq)
-        self._note_squash(context, squashed, "mispredict")
+        self._note_squash(context, squashed, "mispredict", trigger=entry)
         context.drop_squashed_ready()
         context.rebuild_rename()
         target = entry.value  # branch "value" is the correct next index
@@ -449,7 +456,7 @@ class Core:
             return
         fault = head.fault
         squashed = context.rob.squash_younger_than(-1)
-        self._note_squash(context, squashed, "page-fault")
+        self._note_squash(context, squashed, "page-fault", trigger=head)
         context.drop_squashed_ready()
         context.rebuild_rename()
         context.stats.faults += 1
@@ -807,7 +814,8 @@ class Core:
         if violating is None:
             return
         squashed = context.rob.squash_younger_than(violating.seq - 1)
-        self._note_squash(context, squashed, "memory-order")
+        self._note_squash(context, squashed, "memory-order",
+                          trigger=store)
         context.drop_squashed_ready()
         context.rebuild_rename()
         context.fetch_index = violating.index

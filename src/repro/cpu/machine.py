@@ -19,6 +19,7 @@ from repro.mem.hierarchy import MemoryHierarchy
 from repro.mem.physical import PhysicalMemory
 from repro.observability.profiler import RunProfile, note_machine
 from repro.observability.registry import MetricsRegistry
+from repro.oracle.runtime import note_machine as _oracle_note_machine
 from repro.vm.pwc import PageWalkCache
 from repro.vm.tlb import TLBHierarchy
 from repro.vm.walker import PageWalker
@@ -62,6 +63,7 @@ class Machine:
         #: Active EventTracer, or None (the zero-cost default).
         self.tracer = None
         note_machine(self)
+        _oracle_note_machine(self)
 
     def _register_metrics(self):
         metrics = self.metrics

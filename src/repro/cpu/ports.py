@@ -72,6 +72,9 @@ class PortSet:
 
     def __init__(self, configs: Sequence[PortConfig],
                  non_pipelined: FrozenSet[str]):
+        #: Op classes that occupy their port for the full latency —
+        #: the observable contention resource (oracle hook point).
+        self.non_pipelined = non_pipelined
         self.ports: List[Port] = [Port(c, non_pipelined) for c in configs]
         self._by_class: Dict[str, List[Port]] = {}
         for port in self.ports:
@@ -91,6 +94,11 @@ class PortSet:
                 port.issue(now, op_cls, latency)
                 return port
         return None
+
+    def is_non_pipelined(self, op_cls: str) -> bool:
+        """True when *op_cls* holds its port for the full latency (a
+        sibling context observes the occupancy as contention)."""
+        return op_cls in self.non_pipelined
 
     def port_named(self, name: str) -> Port:
         for port in self.ports:

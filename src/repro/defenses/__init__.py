@@ -1,25 +1,18 @@
-"""Section 8 countermeasures and their evaluation."""
+"""Deprecated alias of :mod:`repro.evaluation.defenses`.
 
-from repro.defenses.dejavu import (
-    DejaVuReport,
-    build_clock_program,
-    build_timed_victim,
-    evaluate_dejavu,
-)
-from repro.defenses.fences import FenceDefenseReport, evaluate_fence_on_flush
-from repro.defenses.pf_oblivious import (
-    ObliviousCFVictim,
-    PFObliviousReport,
-    evaluate_pf_obliviousness,
-    page_trace,
-    setup_oblivious_cf_victim,
-)
-from repro.defenses.tsgx import (
-    TSGX_THRESHOLD,
-    TSGXReport,
-    evaluate_tsgx,
-    wrap_with_tsgx,
-)
+The §8 countermeasures moved to ``repro.evaluation.defenses`` (their
+single canonical home, next to the matrix specs they parameterise).
+This package re-exports everything from there with a
+:class:`DeprecationWarning`, mirroring the ``repro.config`` migration
+pattern; it will be removed in a future release.
+"""
+
+import warnings
+
+warnings.warn(
+    "repro.defenses is deprecated; import from "
+    "repro.evaluation.defenses instead",
+    DeprecationWarning, stacklevel=2)
 
 __all__ = [
     "DejaVuReport",
@@ -38,3 +31,14 @@ __all__ = [
     "evaluate_tsgx",
     "wrap_with_tsgx",
 ]
+
+
+def __getattr__(name):
+    """PEP 562 forwarding to the canonical package."""
+    import repro.evaluation.defenses as _canonical
+
+    try:
+        return getattr(_canonical, name)
+    except AttributeError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}") from None

@@ -1,90 +1,19 @@
-"""Fence-on-pipeline-flush (§8, "Fences on Pipeline Flushes").
+"""Deprecated alias of :mod:`repro.evaluation.defenses.fences`."""
 
-"The obvious defense ... is for the hardware or the OS to insert a
-fence after each pipeline flush."  The core implements this as
-``CoreConfig.fence_on_flush``: after any squash (fault, misprediction,
-memory-order violation) the next fetched instruction is serialising,
-so replayed code cannot run ahead of the faulting handle.
+import warnings
 
-The paper's corner case is also measurable here: the *first* execution
-of the window (before any flush has happened) still leaks — the
-defense bounds the adversary to one noisy sample instead of zero.
-"""
-
-from __future__ import annotations
-
-from dataclasses import dataclass
-from typing import Dict
-
-from repro.core.module import MicroScopeConfig
-from repro.core.recipes import ReplayAction, ReplayDecision, WalkLocation, WalkTuning
-from repro.core.replayer import AttackEnvironment, Replayer
-from repro.cpu.config import CoreConfig
-from repro.config import MachineConfig
-from repro.isa.instructions import Opcode
-from repro.victims.control_flow import setup_control_flow_victim
+warnings.warn(
+    "repro.defenses.fences is deprecated; import from "
+    "repro.evaluation.defenses.fences instead",
+    DeprecationWarning, stacklevel=2)
 
 
-@dataclass
-class FenceDefenseReport:
-    """Transmit executions visible to the attacker, with and without
-    the defense, for the same number of replays."""
+def __getattr__(name):
+    """PEP 562 forwarding to the canonical module."""
+    import repro.evaluation.defenses.fences as _canonical
 
-    replays: int
-    transmit_issues_undefended: int
-    transmit_issues_defended: int
-
-    @property
-    def leakage_blocked(self) -> bool:
-        """The defense caps the leak at the single pre-flush window."""
-        return self.transmit_issues_defended <= 2  # one window's divs
-
-
-def evaluate_fence_on_flush(replays: int = 10,
-                            secret: int = 1) -> FenceDefenseReport:
-    """Replay the Fig. 6 victim *replays* times with and without the
-    fence-on-flush defense; count the victim's speculatively executed
-    transmit (divide) instructions each way."""
-    counts: Dict[bool, int] = {}
-    for defended in (False, True):
-        counts[defended] = _count_transmit_issues(replays, secret,
-                                                  defended)
-    return FenceDefenseReport(
-        replays=replays,
-        transmit_issues_undefended=counts[False],
-        transmit_issues_defended=counts[True])
-
-
-def _count_transmit_issues(replays: int, secret: int,
-                           defended: bool) -> int:
-    rep = Replayer(AttackEnvironment.build(
-        machine_config=MachineConfig(core=CoreConfig(
-            fence_on_flush=defended)),
-        module_config=MicroScopeConfig(fault_handler_cost=2000)))
-    victim_proc = rep.create_victim_process("victim")
-    victim = setup_control_flow_victim(victim_proc, secret)
-    issues = {"div": 0}
-
-    def observer(context, entry):
-        if context.context_id == 0 and entry.instr.op is Opcode.FDIV:
-            issues["div"] += 1
-
-    rep.machine.core.issue_hooks.append(observer)
-
-    def attack_fn(event) -> ReplayDecision:
-        if event.replay_no >= replays:
-            return ReplayDecision(ReplayAction.RELEASE)
-        return ReplayDecision(ReplayAction.REPLAY)
-
-    recipe = rep.module.provide_replay_handle(
-        victim_proc, victim.handle_va + 0x20, name="fence-eval",
-        attack_function=attack_fn,
-        walk_tuning=WalkTuning(upper=WalkLocation.PWC,
-                               leaf=WalkLocation.DRAM),
-        max_replays=10**9)
-    rep.launch_victim(victim_proc, victim.program)
-    rep.arm(recipe)
-    rep.run_until_victim_done(context_id=0, max_cycles=5_000_000)
-    # Subtract the architectural (retired) executions after release.
-    architectural = 2 if secret == 1 else 0
-    return max(0, issues["div"] - architectural)
+    try:
+        return getattr(_canonical, name)
+    except AttributeError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}") from None

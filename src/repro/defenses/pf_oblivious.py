@@ -1,152 +1,19 @@
-"""PF-obliviousness (§8, Shinde et al. [51]).
+"""Deprecated alias of :mod:`repro.evaluation.defenses.pf_oblivious`."""
 
-The defense rewrites a program so its *page-fault sequence* is
-input-independent: both sides of every secret-dependent branch touch
-the same pages, with redundant accesses padding the shorter side.
-This genuinely defeats controlled-channel (page-trace) attacks — and,
-as the paper notes, "makes it easier for MicroScope to perform an
-attack, as the added memory accesses provide more replay handles."
+import warnings
 
-Both effects are measurable here.
-"""
-
-from __future__ import annotations
-
-from dataclasses import dataclass
-from typing import List
-
-from repro.core.handles import count_memory_instructions, find_replay_handles
-from repro.isa.instructions import Opcode
-from repro.isa.program import Program, ProgramBuilder
-from repro.kernel.process import Process
-from repro.victims.common import REPLAY_HANDLE, TRANSMIT
+warnings.warn(
+    "repro.defenses.pf_oblivious is deprecated; import from "
+    "repro.evaluation.defenses.pf_oblivious instead",
+    DeprecationWarning, stacklevel=2)
 
 
-@dataclass(frozen=True)
-class ObliviousCFVictim:
-    """A Fig. 4c-style victim in plain and PF-oblivious forms."""
+def __getattr__(name):
+    """PEP 562 forwarding to the canonical module."""
+    import repro.evaluation.defenses.pf_oblivious as _canonical
 
-    plain: Program
-    oblivious: Program
-    handle_va: int
-    secret_va: int
-    pageB_va: int
-    pageC_va: int
-
-
-def setup_oblivious_cf_victim(process: Process,
-                              secret: int) -> ObliviousCFVictim:
-    """Build the control-flow victim whose two paths touch pages B and
-    C, plus its PF-oblivious transformation where *both* paths touch
-    *both* pages (the redundant access is the defense)."""
-    if secret not in (0, 1):
-        raise ValueError("secret must be 0 or 1")
-    handle_va = process.alloc(4096, "ob-handle")
-    pageB_va = process.alloc(4096, "ob-pageB")
-    pageC_va = process.alloc(4096, "ob-pageC")
-    secret_va = process.alloc(4096, "ob-secret")
-    process.write(secret_va, secret)
-    plain = _build(handle_va, secret_va, pageB_va, pageC_va,
-                   oblivious=False)
-    oblivious = _build(handle_va, secret_va, pageB_va, pageC_va,
-                       oblivious=True)
-    return ObliviousCFVictim(plain, oblivious, handle_va, secret_va,
-                             pageB_va, pageC_va)
-
-
-def _build(handle_va: int, secret_va: int, pageB_va: int, pageC_va: int,
-           oblivious: bool) -> Program:
-    b = ProgramBuilder("cf-oblivious" if oblivious else "cf-plain")
-    b.li("r1", handle_va)
-    b.li("r2", secret_va)
-    b.li("r3", pageB_va)
-    b.li("r4", pageC_va)
-    b.load("r5", "r1", 0, comment=REPLAY_HANDLE)
-    b.load("r6", "r2", 0)
-    b.li("r7", 0)
-    b.bne("r6", "r7", "path_c")
-    b.load("r8", "r3", 0, comment=f"{TRANSMIT}-B")
-    b.mul("r9", "r8", "r8")
-    if oblivious:
-        b.load("r10", "r4", 0, comment="redundant-C")
-    b.jmp("done")
-    b.label("path_c")
-    if oblivious:
-        # Redundant access first, so both paths touch B then C in the
-        # same order — the page-fault sequence becomes input-invariant.
-        b.load("r10", "r3", 0, comment="redundant-B")
-    b.load("r8", "r4", 0, comment=f"{TRANSMIT}-C")
-    b.fli("f0", 3.0)
-    b.fli("f1", 2.0)
-    b.fdiv("f2", "f0", "f1")
-    b.label("done")
-    b.halt()
-    return b.build()
-
-
-@dataclass
-class PFObliviousReport:
-    #: Page-trace distinguishability under the controlled channel.
-    plain_page_traces_differ: bool
-    oblivious_page_traces_differ: bool
-    #: Replay-handle counts (the paper's "more handles" point).
-    plain_handles: int
-    oblivious_handles: int
-    plain_memory_ops: int
-    oblivious_memory_ops: int
-
-    @property
-    def defeats_controlled_channel(self) -> bool:
-        return (self.plain_page_traces_differ
-                and not self.oblivious_page_traces_differ)
-
-    @property
-    def helps_microscope(self) -> bool:
-        return self.oblivious_handles > self.plain_handles
-
-
-def page_trace(program: Program, secret: int) -> List[str]:
-    """Static page-access trace along the *secret*'s path — what the
-    controlled-channel attacker observes fault by fault."""
-    trace: List[str] = []
-    index = 0
-    guard = 0
-    while index < len(program) and guard < 10_000:
-        guard += 1
-        instr = program[index]
-        if instr.is_memory:
-            trace.append(instr.comment or f"mem@{index}")
-        if instr.op is Opcode.HALT:
-            break
-        if instr.op is Opcode.JMP:
-            index = program.target_index(instr)
-        elif instr.is_cond_branch:
-            # The only branch in these victims keys on the secret.
-            index = (program.target_index(instr) if secret
-                     else index + 1)
-        else:
-            index += 1
-    # Reduce to the page identities (comments name the page).
-    return [t.split("-")[-1] if "-" in t else t for t in trace]
-
-
-def evaluate_pf_obliviousness(process: Process) -> PFObliviousReport:
-    victim = setup_oblivious_cf_victim(process, secret=0)
-
-    def traces_differ(program: Program) -> bool:
-        return page_trace(program, 0) != page_trace(program, 1)
-
-    def handle_count(program: Program) -> int:
-        # Sensitive instruction: the division on the C path.
-        sensitive_index = next(
-            i for i, instr in enumerate(program.instructions)
-            if instr.op is Opcode.FDIV)
-        return len(find_replay_handles(program, sensitive_index))
-
-    return PFObliviousReport(
-        plain_page_traces_differ=traces_differ(victim.plain),
-        oblivious_page_traces_differ=traces_differ(victim.oblivious),
-        plain_handles=handle_count(victim.plain),
-        oblivious_handles=handle_count(victim.oblivious),
-        plain_memory_ops=count_memory_instructions(victim.plain),
-        oblivious_memory_ops=count_memory_instructions(victim.oblivious))
+    try:
+        return getattr(_canonical, name)
+    except AttributeError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}") from None

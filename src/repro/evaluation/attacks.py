@@ -22,7 +22,7 @@ from repro.core.attacks.loop_secret import LoopSecretAttack
 from repro.core.attacks.mispredict_replay import infer_secret_by_priming
 from repro.core.attacks.port_contention import PortContentionAttack
 from repro.core.attacks.single_secret import SecretIdExtractionAttack
-from repro.defenses.tsgx import wrap_with_tsgx
+from repro.evaluation.defenses.tsgx import wrap_with_tsgx
 from repro.evaluation.classify import CellMetrics
 from repro.evaluation.defenses import DefenseSpec
 

@@ -1,0 +1,74 @@
+"""The canonical home of the §8 countermeasures.
+
+Two layers live here:
+
+* :mod:`repro.evaluation.defenses.specs` — :class:`DefenseSpec`, the
+  mechanism-level reduction of each defense that the evaluation
+  matrix columns are built from (machine knobs, replay budgets,
+  victim transforms, detection budgets);
+* the faithful standalone models and their evaluation drivers —
+  :mod:`~repro.evaluation.defenses.fences`,
+  :mod:`~repro.evaluation.defenses.dejavu`,
+  :mod:`~repro.evaluation.defenses.tsgx` and
+  :mod:`~repro.evaluation.defenses.pf_oblivious`.
+
+The legacy ``repro.defenses`` package re-exports everything from here
+with a :class:`DeprecationWarning` (mirroring the ``repro.config``
+migration); new code should import from this package.
+"""
+
+from repro.evaluation.defenses.dejavu import (
+    DejaVuReport,
+    build_clock_program,
+    build_timed_victim,
+    evaluate_dejavu,
+)
+from repro.evaluation.defenses.fences import (
+    FenceDefenseReport,
+    evaluate_fence_on_flush,
+)
+from repro.evaluation.defenses.pf_oblivious import (
+    ObliviousCFVictim,
+    PFObliviousReport,
+    evaluate_pf_obliviousness,
+    page_trace,
+    setup_oblivious_cf_victim,
+)
+from repro.evaluation.defenses.specs import (
+    DEFENSES,
+    DEJAVU_BUDGET_TICKS,
+    DEJAVU_FAULT_COST,
+    DefenseSpec,
+    defense_names,
+    get_defense,
+)
+from repro.evaluation.defenses.tsgx import (
+    TSGX_THRESHOLD,
+    TSGXReport,
+    evaluate_tsgx,
+    wrap_with_tsgx,
+)
+
+__all__ = [
+    "DEFENSES",
+    "DEJAVU_BUDGET_TICKS",
+    "DEJAVU_FAULT_COST",
+    "DefenseSpec",
+    "DejaVuReport",
+    "FenceDefenseReport",
+    "ObliviousCFVictim",
+    "PFObliviousReport",
+    "TSGX_THRESHOLD",
+    "TSGXReport",
+    "build_clock_program",
+    "build_timed_victim",
+    "defense_names",
+    "evaluate_dejavu",
+    "evaluate_fence_on_flush",
+    "evaluate_pf_obliviousness",
+    "evaluate_tsgx",
+    "get_defense",
+    "page_trace",
+    "setup_oblivious_cf_victim",
+    "wrap_with_tsgx",
+]

@@ -25,7 +25,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.config import MachineConfig
 from repro.cpu.config import CoreConfig
-from repro.defenses.tsgx import TSGX_THRESHOLD
+from repro.evaluation.defenses.tsgx import TSGX_THRESHOLD
 
 #: Déjà Vu's reference-clock budget and the cost one replay (≈ one
 #: page fault) adds to the timed region — the §8 masking arithmetic.

@@ -52,6 +52,23 @@ def _cell_trial(params: Any, seed: int) -> Dict[str, Any]:
     return metrics.to_dict()
 
 
+def _cell_trial_oracle(params: Any, seed: int) -> Dict[str, Any]:
+    """The oracle-instrumented cell trial: same cell, run under an
+    active :class:`~repro.oracle.TaintOracle`, with the leakage
+    summary embedded under ``detail["oracle"]``.  A separate
+    module-level function (rather than a flag on :func:`_cell_trial`)
+    so oracle-off sweeps keep their exact historical content address
+    in the trial store."""
+    from repro.oracle import OracleConfig, TaintOracle, activate
+    attack_name, defense_name, overrides, oracle_cfg = params
+    oracle = TaintOracle(OracleConfig.from_dict(oracle_cfg))
+    with activate(oracle):
+        payload = _cell_trial((attack_name, defense_name, overrides),
+                              seed)
+    payload["detail"]["oracle"] = oracle.summary.to_dict()
+    return payload
+
+
 @dataclass
 class MatrixCell:
     """One evaluated (attack, defense) pair."""
@@ -192,8 +209,9 @@ def build_matrix(attacks: Sequence[str], defenses: Sequence[str],
     inline.
     """
     cells: Dict[Tuple[str, str], MatrixCell] = {}
-    for index, ((attack, defense, _), payload) in enumerate(
-            zip(params, results)):
+    for index, (param, payload) in enumerate(zip(params, results)):
+        # Cell params are (attack, defense, overrides[, oracle_cfg]).
+        attack, defense = param[0], param[1]
         if payload is None:
             metrics = CellMetrics(
                 error="trial skipped by fault policy",
@@ -246,12 +264,23 @@ class MatrixRunner:
     #: content address (trial fn + params + seed) is already stored
     #: load instead of recomputing.
     store: Any = None
+    #: Sweep backend, forwarded to :class:`repro.Experiment`
+    #: (``"scalar"`` or ``"batch"``).
+    backend: str = "scalar"
     metrics: Any = None
     tracer: Any = None
     #: A running experiment service to submit through instead of
     #: executing locally: a ``repro.service.ServiceClient``, an
     #: ``(host, port)`` tuple, or a server state directory.
     service: Any = None
+    #: Taint-tracking leakage oracle: ``True`` / an
+    #: :class:`~repro.oracle.OracleConfig` (or its dict form) runs
+    #: every cell under :func:`repro.oracle.activate` and embeds the
+    #: leakage summary in each cell's ``detail["oracle"]``;
+    #: ``None``/``False`` keeps cells bit-identical to an oracle-free
+    #: build.  Not combinable with ``service=`` (the service protocol
+    #: does not carry oracle configs yet).
+    oracle: Any = None
     #: The :class:`~repro.experiment.ExperimentReport` of the last
     #: :meth:`run` — cache hit/miss accounting lives here, *not* in
     #: the :class:`EvaluationMatrix` (whose serialised form must stay
@@ -284,7 +313,7 @@ class MatrixRunner:
             attacks=attacks, defenses=defenses,
             overrides={a: dict(o) for a, o in self.overrides.items()},
             master_seed=self.master_seed, label=self.label,
-            backend="scalar", workers=self.workers or 1)
+            backend=self.backend, workers=self.workers or 1)
         submitted = client.submit(spec)
         status = client.wait(submitted["job"])
         if status["state"] != "done":
@@ -297,18 +326,58 @@ class MatrixRunner:
 
     def run(self) -> EvaluationMatrix:
         """Execute every cell and classify against the baselines."""
+        from repro.oracle.tracker import _coerce_config
+        oracle_config = _coerce_config(self.oracle)
         attacks, defenses = self._axes()
         if self.service is not None:
+            if oracle_config is not None:
+                raise NotImplementedError(
+                    "MatrixRunner(oracle=...) cannot be combined with "
+                    "service=: the service job protocol does not "
+                    "carry oracle configs yet. Run the oracle matrix "
+                    "locally.")
             return self._run_via_service(attacks, defenses)
-        params = matrix_params(attacks, defenses, self.overrides)
+        params: Sequence[Tuple] = matrix_params(
+            attacks, defenses, self.overrides)
+        if oracle_config is not None:
+            cfg = oracle_config.to_dict()
+            params = [(a, d, o, dict(cfg)) for a, d, o in params]
+            trial = _cell_trial_oracle
+        else:
+            trial = _cell_trial
         report = Experiment(
-            trial=_cell_trial, sweep=params,
+            trial=trial, sweep=params,
             master_seed=self.master_seed, label=self.label,
             workers=self.workers, policy=self.policy,
             chaos=self.chaos, journal=self.journal,
-            store=self.store, metrics=self.metrics,
-            tracer=self.tracer).run()
+            store=self.store, backend=self.backend,
+            metrics=self.metrics, tracer=self.tracer).run()
         self.last_run_report = report
-        return build_matrix(attacks, defenses, params, report.results,
-                            master_seed=self.master_seed,
-                            label=self.label)
+        matrix = build_matrix(attacks, defenses, params,
+                              report.results,
+                              master_seed=self.master_seed,
+                              label=self.label)
+        if oracle_config is not None:
+            self._record_oracle(matrix, report)
+        return matrix
+
+    def _record_oracle(self, matrix: EvaluationMatrix,
+                       report: Any) -> None:
+        """Fold per-cell leakage summaries into the observability
+        sinks under ``oracle.cell.<attack>.<defense>.*``."""
+        metrics = self.metrics if self.metrics is not None \
+            else report.metrics
+        for (attack, defense), cell in sorted(matrix.cells.items()):
+            summary = cell.metrics.detail.get("oracle")
+            if not isinstance(summary, dict):
+                continue
+            prefix = f"oracle.cell.{attack}.{defense}"
+            total = summary.get("events", 0)
+            metrics.counter(f"{prefix}.events").inc(total)
+            for kind, count in summary.get("counts", {}).items():
+                metrics.counter(f"{prefix}.{kind}").inc(count)
+            if self.tracer is not None and total:
+                self.tracer.instant(
+                    "oracle.leak", ts=0, cat="oracle",
+                    attack=attack, defense=defense, total=total,
+                    verdict=summary.get("verdict"))

@@ -70,6 +70,10 @@ class ExperimentReport:
     report: Optional[SweepReport]
     #: The registry the sweep accounting was recorded into.
     metrics: Optional[MetricsRegistry] = None
+    #: Per-trial leakage summaries (``LeakageSummary.to_dict`` shape,
+    #: ``None`` for skipped trials) when the experiment ran with
+    #: ``oracle=``; ``None`` when the oracle was off.
+    oracle: Optional[List[Optional[Dict[str, Any]]]] = None
 
     @property
     def result(self) -> Any:
@@ -118,6 +122,30 @@ def _attack_trial(params: Any, seed: int) -> Any:
     return attack.run(**kwargs)
 
 
+@dataclass(frozen=True)
+class _OracleTrial:
+    """Oracle-activating wrapper around a trial function.
+
+    A frozen dataclass (not a closure) so worker pools can pickle it
+    and the memo layer can key it: its content address covers both
+    the wrapped function and the oracle configuration, so oracle-on
+    and oracle-off runs of the same trial never share a cache entry.
+    """
+
+    inner: Callable[[Any, int], Any]
+    config: Any  # OracleConfig; typed loosely to keep imports lazy
+
+    def __call__(self, params: Any, seed: int) -> Dict[str, Any]:
+        """Run the trial under an active oracle; box the result with
+        the leakage summary (unboxed again in :meth:`Experiment.run`)."""
+        from repro.oracle import TaintOracle, activate
+        oracle = TaintOracle(self.config)
+        with activate(oracle):
+            result = self.inner(params, seed)
+        return {"__oracle__": oracle.summary.to_dict(),
+                "result": result}
+
+
 @dataclass
 class Experiment:
     """Declarative experiment: what to run, how hard to try."""
@@ -152,6 +180,17 @@ class Experiment:
     #: lockstep-fleet pre-pass (requires ``trial=`` to carry a
     #: ``fleet_plan``; see :class:`repro.batch.FleetTrial`).
     backend: str = "scalar"
+    #: Accepted for signature symmetry with
+    #: :class:`repro.evaluation.matrix.MatrixRunner`; experiments are
+    #: not service-routable (only whole matrices are), so any non-None
+    #: value raises at :meth:`run`.
+    service: Any = None
+    #: Taint-tracking leakage oracle: ``True`` / an
+    #: :class:`~repro.oracle.OracleConfig` (or its dict form) runs
+    #: every trial under :func:`repro.oracle.activate` and fills
+    #: :attr:`ExperimentReport.oracle`; ``None``/``False`` leaves the
+    #: run bit-identical to an oracle-free build.
+    oracle: Any = None
 
     # --- observability ---------------------------------------------------
     metrics: Optional[MetricsRegistry] = None
@@ -225,7 +264,18 @@ class Experiment:
 
     def run(self) -> ExperimentReport:
         """Execute and return an :class:`ExperimentReport`."""
+        if self.service is not None:
+            raise NotImplementedError(
+                "Experiment(service=...) is not supported: the "
+                "experiment service executes whole matrices, not "
+                "arbitrary trial callables. Use "
+                "repro.evaluation.MatrixRunner(service=...) instead.")
+        from repro.oracle.tracker import _coerce_config
+        oracle_config = _coerce_config(self.oracle)
         trial_fn, params = self._trial_spec()
+        if oracle_config is not None:
+            trial_fn = _OracleTrial(inner=trial_fn,
+                                    config=oracle_config)
         metrics = self.metrics if self.metrics is not None \
             else MetricsRegistry()
         workers = self.workers if self.workers is not None else 1
@@ -235,9 +285,39 @@ class Experiment:
             label=self.label, policy=self.policy, chaos=self.chaos,
             journal=self.journal, store=self.store, metrics=metrics,
             tracer=self.tracer, backend=self.backend)
-        return ExperimentReport(label=self.label,
-                                results=sweep.results(),
-                                report=sweep.report, metrics=metrics)
+        results = sweep.results()
+        summaries: Optional[List[Optional[Dict[str, Any]]]] = None
+        if oracle_config is not None:
+            summaries = [None if boxed is None
+                         else boxed.get("__oracle__")
+                         for boxed in results]
+            results = [None if boxed is None else boxed.get("result")
+                       for boxed in results]
+            self._record_oracle(summaries, metrics)
+        return ExperimentReport(label=self.label, results=results,
+                                report=sweep.report, metrics=metrics,
+                                oracle=summaries)
+
+    def _record_oracle(self,
+                       summaries: List[Optional[Dict[str, Any]]],
+                       metrics: MetricsRegistry) -> None:
+        """Fold per-trial leakage summaries into the observability
+        sinks: ``oracle.*`` counters plus one tracer instant per
+        leaking trial."""
+        for index, summary in enumerate(summaries):
+            if summary is None:
+                continue
+            metrics.counter("oracle.trials").inc()
+            total = summary.get("events", 0)
+            metrics.counter("oracle.events").inc(total)
+            for kind, count in summary.get("counts", {}).items():
+                metrics.counter(f"oracle.events.{kind}").inc(count)
+            if summary.get("verdict") == "leaks":
+                metrics.counter("oracle.leaking_trials").inc()
+            if self.tracer is not None and total:
+                self.tracer.instant(
+                    "oracle.leak", ts=0, cat="oracle", tid=index,
+                    total=total, verdict=summary.get("verdict"))
 
 
 __all__ = ["Experiment", "ExperimentReport"]

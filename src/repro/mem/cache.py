@@ -138,6 +138,13 @@ class Cache:
         """Non-intrusive presence check (no recency update, no stats)."""
         return line_of(paddr) in self._where
 
+    def locate(self, paddr: int) -> Optional[Tuple[int, int]]:
+        """``(set index, way)`` of *paddr*'s line, or ``None`` when not
+        resident.  Non-intrusive (no recency update, no stats) — this
+        is the observable the leakage oracle attributes set/way-touch
+        events to."""
+        return self._where.get(line_of(paddr))
+
     def insert(self, paddr: int, dirty: bool = False) -> Optional[int]:
         """Fill the line of *paddr*; return the evicted line address (and
         record its dirtiness via the observer) or ``None``."""

@@ -59,6 +59,13 @@ class MemoryHierarchy:
             raise ValueError("hierarchy needs at least one cache level")
         self.dram_latency = self.config.dram_latency
         self.stats = HierarchyStats()
+        #: Demand-access observers: ``callback(paddr, is_write,
+        #: hit_level, latency)`` fired after every :meth:`access`.
+        #: ``hit_level`` is the level index, or ``len(levels)`` for
+        #: DRAM.  The leakage oracle subscribes here to attribute the
+        #: latency class of secret-dependent accesses; identity wiring,
+        #: not machine state (capture/restore leaves it alone).
+        self.access_observers: List = []
 
     @property
     def l1(self) -> Cache:
@@ -93,6 +100,9 @@ class MemoryHierarchy:
         # Fill the line into every level above the hit.
         for i in range(min(hit_level, len(self.levels)) - 1, -1, -1):
             self._fill(i, paddr, dirty=is_write and i == 0)
+        if self.access_observers:
+            for observer in self.access_observers:
+                observer(paddr, is_write, hit_level, latency)
         return latency
 
     def _fill(self, level: int, paddr: int, dirty: bool = False):

@@ -35,7 +35,7 @@ SNAPSHOT_PATH = (Path(__file__).resolve().parents[3]
 #: Modules whose ``__all__`` constitutes the public surface.
 PUBLIC_MODULES = ("repro", "repro.config", "repro.harness",
                   "repro.evaluation", "repro.memo", "repro.batch",
-                  "repro.service")
+                  "repro.service", "repro.oracle")
 
 
 def _describe(obj: Any) -> Dict[str, str]:

@@ -127,17 +127,34 @@ def run_case(params: Any, seed: int) -> Dict[str, Any]:
     """One differential case: both engines, compared field by field.
 
     The harness trial function — *seed* drives the program generator,
-    so the journal's seed-lineage checks also pin the program.
+    so the journal's seed-lineage checks also pin the program.  With
+    ``params["oracle"]`` set the core runs under an active (but
+    unseeded) :class:`~repro.oracle.TaintOracle`: no secrets are ever
+    registered, so any leakage event — or any architectural deviation
+    from the golden model — is an oracle bug.
     """
+    import contextlib
+
     from repro.cpu.machine import Machine
     from repro.isa.interpreter import run_program as interpret
     program = generate_program(seed)
     reference = interpret(program)
-    machine = Machine()
-    context = machine.contexts[0]
-    context.load_program(program)
-    machine.run(3_000_000)
+    oracle = None
+    scope = contextlib.nullcontext()
+    if params.get("oracle"):
+        from repro.oracle import TaintOracle, activate
+        oracle = TaintOracle()
+        scope = activate(oracle)
+    with scope:
+        machine = Machine()
+        context = machine.contexts[0]
+        context.load_program(program)
+        machine.run(3_000_000)
     mismatches: List[str] = []
+    if oracle is not None and oracle.summary.total:
+        mismatches.append(
+            f"oracle raised {oracle.summary.total} events with no "
+            f"secrets registered")
     if not context.finished():
         mismatches.append("core did not finish the program")
     for reg, value in reference.int_regs.items():
@@ -162,8 +179,15 @@ def run_case(params: Any, seed: int) -> Dict[str, Any]:
 
 def run_sweep(cases: int, *, master_seed: int = DEFAULT_MASTER_SEED,
               out_dir: Optional[Path] = None,
-              workers: Optional[int] = None) -> Dict[str, Any]:
-    """The full differential sweep; returns the summary payload."""
+              workers: Optional[int] = None,
+              oracle: bool = False) -> Dict[str, Any]:
+    """The full differential sweep; returns the summary payload.
+
+    With ``oracle=True`` every case runs under an active, unseeded
+    taint oracle — a continuous soundness control proving the oracle
+    machinery neither perturbs execution nor raises events without a
+    taint source.
+    """
     from repro.harness import FaultPolicy, run_resilient_sweep
     from repro.observability.registry import MetricsRegistry
     journal = None
@@ -172,7 +196,8 @@ def run_sweep(cases: int, *, master_seed: int = DEFAULT_MASTER_SEED,
         journal = out_dir / "journal.jsonl"
     registry = MetricsRegistry()
     sweep = run_resilient_sweep(
-        run_case, [{"case": i} for i in range(cases)],
+        run_case,
+        [{"case": i, "oracle": oracle} for i in range(cases)],
         master_seed=master_seed, label=LABEL, workers=workers,
         policy=FaultPolicy(max_attempts=2, backoff_base=0.0),
         journal=journal, metrics=registry)
@@ -180,6 +205,7 @@ def run_sweep(cases: int, *, master_seed: int = DEFAULT_MASTER_SEED,
     failures = [r for r in results if not r["match"]]
     summary = {
         "cases": cases,
+        "oracle": oracle,
         "failures": [{"case": r["case"], "seed": r["seed"],
                       "mismatches": r["mismatches"]}
                      for r in failures],
@@ -210,17 +236,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--case", type=int, default=None,
                         help="re-run one case by index and print its "
                              "payload")
+    parser.add_argument("--oracle", action="store_true",
+                        help="run every case under an active, "
+                             "unseeded taint oracle (soundness "
+                             "control: zero events expected)")
     args = parser.parse_args(argv)
     if args.case is not None:
         from repro.harness import derive_seed
         payload = run_case(
-            {"case": args.case},
+            {"case": args.case, "oracle": args.oracle},
             derive_seed(args.master_seed, args.case, LABEL))
         print(json.dumps(payload, sort_keys=True, indent=2))
         return 0 if payload["match"] else 1
     out_dir = Path(args.out_dir) if args.out_dir else None
     summary = run_sweep(args.cases, master_seed=args.master_seed,
-                        out_dir=out_dir, workers=args.workers)
+                        out_dir=out_dir, workers=args.workers,
+                        oracle=args.oracle)
     print(f"diffsweep: {summary['matched']}/{summary['cases']} "
           f"cases matched, {summary['retired_total']} instructions "
           f"retired")

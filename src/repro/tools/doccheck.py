@@ -1,7 +1,8 @@
 """Execute the Python code blocks in the docs — docs that drift fail.
 
 Extracts every fenced ````` ```python ````` block from the given
-markdown files (default: the README quickstart and ``docs/API.md``)
+markdown files (default: the README quickstart, ``docs/API.md`` and
+``docs/ORACLE.md``)
 and executes each one in a fresh namespace, with the working
 directory pointed at a throwaway temp dir so examples may write
 journals and artifacts freely.  Any exception fails the run with the
@@ -14,7 +15,7 @@ not self-contained).  Non-Python fences (```bash`` etc.) are ignored.
 
 Usage::
 
-    python -m repro.tools.doccheck                # README + docs/API.md
+    python -m repro.tools.doccheck                # the default doc set
     python -m repro.tools.doccheck docs/FOO.md    # specific files
     python -m repro.tools.doccheck --list         # show blocks, don't run
 """
@@ -33,7 +34,7 @@ from typing import List, Optional, Sequence
 _ROOT = Path(__file__).resolve().parents[3]
 
 #: Files checked when none are given on the command line.
-DEFAULT_DOCS = ("README.md", "docs/API.md")
+DEFAULT_DOCS = ("README.md", "docs/API.md", "docs/ORACLE.md")
 
 #: Comment text that exempts the following code block.
 SKIP_MARKER = "doccheck: skip"

@@ -1,0 +1,175 @@
+"""Cross-validate the taint oracle against the statistical verdicts.
+
+The evaluation matrix (``docs/RESULTS.md``) decides "does this defense
+work" *statistically*: per-cell accuracy against chance.  The taint
+oracle (:mod:`repro.oracle`) decides the same question as an
+*information-flow property*: did any secret-dependent state reach an
+observable?  This tool runs both over the same cells and enforces the
+direction in which they must agree:
+
+* **consistency** — a cell whose oracle verdict is ``clean`` must not
+  leak statistically (``accuracy - chance > EPSILON``).  A clean
+  oracle over a leaking cell means the instrumentation missed a flow
+  — the bug this tool exists to catch.  (The converse is fine: the
+  oracle over-approximates, so ``leaks`` with at-chance accuracy just
+  means the attacker failed to *decode* a real exposure.)
+* **soundness control** — the same matrix re-run with secret seeding
+  disabled (``OracleConfig(seed_secrets=False)``) must raise **zero**
+  events in every cell: no taint source, no leak, whatever the
+  machinery does.
+
+Exit status 0 when both hold; 1 otherwise.  ``--json`` emits the full
+payload for CI artifacts::
+
+    python -m repro.tools.oraclecheck --attacks cf-cache secret-id
+    python -m repro oracle            # same thing, demo spelling
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+#: Master seed / label of the published matrix — oraclecheck verdicts
+#: must describe the same cells the results doc shows.
+DEFAULT_MASTER_SEED = 2019
+DEFAULT_LABEL = "evaluation-matrix"
+
+
+def _runner(attacks: Sequence[str], defenses: Sequence[str],
+            overrides: Dict[str, Dict[str, Any]], oracle: Any,
+            workers: Optional[int], store: Any):
+    from repro.evaluation.matrix import MatrixRunner
+    return MatrixRunner(
+        attacks=tuple(attacks), defenses=tuple(defenses),
+        overrides=overrides, master_seed=DEFAULT_MASTER_SEED,
+        label=DEFAULT_LABEL, workers=workers, store=store,
+        oracle=oracle)
+
+
+def run_check(attacks: Sequence[str] = (),
+              defenses: Sequence[str] = (), *,
+              samples: int = 600,
+              workers: Optional[int] = None,
+              store: Any = None) -> Dict[str, Any]:
+    """Run both legs and cross-check; returns the JSON-ready payload.
+
+    *samples* tunes the port-contention cells (the slowest rows) the
+    same way ``python -m repro matrix`` does; accuracy thresholds are
+    unaffected because EPSILON-scale leaks survive smaller samples.
+    """
+    from repro.evaluation.classify import EPSILON
+    from repro.oracle import OracleConfig
+    overrides = {"port-contention":
+                 {"measurements": samples,
+                  "calibrate_samples": max(200, samples // 2)}}
+
+    matrix = _runner(attacks, defenses, overrides, True,
+                     workers, store).run()
+    control = _runner(attacks, defenses, overrides,
+                      OracleConfig(seed_secrets=False),
+                      workers, store).run()
+
+    cells: List[Dict[str, Any]] = []
+    inconsistent: List[str] = []
+    control_events: List[str] = []
+    for (attack, defense) in sorted(matrix.cells):
+        cell = matrix.cell(attack, defense)
+        summary = cell.metrics.detail.get("oracle") or {}
+        ctl = control.cell(attack, defense).metrics.detail \
+            .get("oracle") or {}
+        name = f"{attack}/{defense}"
+        margin = cell.metrics.leak_margin
+        skipped = cell.metrics.error is not None
+        bad = (not skipped and summary.get("verdict") == "clean"
+               and margin is not None and margin > EPSILON)
+        record = {
+            "cell": name,
+            "classification": cell.classification,
+            "consistent": not bad,
+            "control_events": ctl.get("events", 0),
+            "error": cell.metrics.error,
+            "leak_margin": None if margin is None
+            else round(margin, 6),
+            "oracle_events": summary.get("events", 0),
+            "verdict": summary.get("verdict"),
+        }
+        cells.append(record)
+        if bad:
+            inconsistent.append(name)
+        if record["control_events"]:
+            control_events.append(name)
+    return {
+        "attacks": list(matrix.attacks),
+        "cells": cells,
+        "control_event_cells": control_events,
+        "defenses": list(matrix.defenses),
+        "epsilon": EPSILON,
+        "inconsistent": inconsistent,
+        "label": DEFAULT_LABEL,
+        "master_seed": DEFAULT_MASTER_SEED,
+        "ok": not inconsistent and not control_events,
+    }
+
+
+def _table(payload: Dict[str, Any]) -> str:
+    header = (f"{'cell':<28} {'class':<11} {'oracle':<7} "
+              f"{'events':>7} {'margin':>8} {'ctl':>4}  status")
+    lines = [header, "-" * len(header)]
+    for cell in payload["cells"]:
+        margin = "—" if cell["leak_margin"] is None \
+            else f"{cell['leak_margin']:+.3f}"
+        if cell["error"] is not None:
+            status = "skipped (error)"
+        elif not cell["consistent"]:
+            status = "INCONSISTENT"
+        elif cell["control_events"]:
+            status = "CONTROL-EVENTS"
+        else:
+            status = "ok"
+        lines.append(
+            f"{cell['cell']:<28} {cell['classification']:<11} "
+            f"{cell['verdict'] or '—':<7} {cell['oracle_events']:>7} "
+            f"{margin:>8} {cell['control_events']:>4}  {status}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point (``python -m repro.tools.oraclecheck``)."""
+    parser = argparse.ArgumentParser(
+        description="cross-validate taint-oracle verdicts against "
+                    "the statistical matrix verdicts")
+    parser.add_argument("--attacks", nargs="*", default=None,
+                        help="rows to check (default: all)")
+    parser.add_argument("--defenses", nargs="*", default=None,
+                        help="columns to check (default: all)")
+    parser.add_argument("--samples", type=int, default=600,
+                        help="port-contention Monitor samples")
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--cache-dir", default=None,
+                        help="content-addressed trial cache directory "
+                             "(default: $REPRO_CACHE_DIR, else off)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the full payload as JSON")
+    args = parser.parse_args(argv)
+    from repro.memo import resolve_store
+    store = resolve_store(args.cache_dir)
+    payload = run_check(tuple(args.attacks or ()),
+                        tuple(args.defenses or ()),
+                        samples=args.samples, workers=args.workers,
+                        store=store)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(_table(payload))
+        print()
+        print(f"inconsistent cells: {len(payload['inconsistent'])}; "
+              f"cells with secret-free control events: "
+              f"{len(payload['control_event_cells'])}")
+    return 0 if payload["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

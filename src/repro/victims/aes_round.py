@@ -30,6 +30,7 @@ from repro.crypto.aes import expand_decrypt_key, rounds_for_key
 from repro.crypto.aes_tables import inv_sbox, td_tables
 from repro.isa.program import Program, ProgramBuilder
 from repro.kernel.process import Process
+from repro.oracle.runtime import note_secret_write
 from repro.victims.common import PIVOT, REPLAY_HANDLE
 
 
@@ -63,6 +64,7 @@ class AESVictim:
                           int.from_bytes(ciphertext[4 * i:4 * i + 4],
                                          "big"),
                           width=4)
+        note_secret_write(process, self.input_va, 16)
 
 
 def setup_aes_victim(process: Process, key: bytes,
@@ -81,6 +83,8 @@ def setup_aes_victim(process: Process, key: bytes,
     process.write_words(td4_va, inv_sbox(), width=4)
     rk_va = process.alloc(4 * len(rk), "aes-rk")
     process.write_words(rk_va, rk, width=4)
+    # The expanded key schedule is enclave-held secret material.
+    note_secret_write(process, rk_va, 4 * len(rk))
     input_va = process.alloc(4096, "aes-input")
     output_va = process.alloc(4096, "aes-output")
     stack_va = process.alloc(4096, "aes-stack")

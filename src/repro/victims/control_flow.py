@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 from repro.isa.program import Program, ProgramBuilder
 from repro.kernel.process import Process
+from repro.oracle.runtime import note_secret_write
 from repro.victims.common import REPLAY_HANDLE, TRANSMIT
 
 
@@ -41,6 +42,7 @@ class ControlFlowVictim:
         if secret not in (0, 1):
             raise ValueError("secret must be 0 or 1")
         process.write(self.secret_va, secret)
+        note_secret_write(process, self.secret_va)
 
 
 def setup_control_flow_victim(process: Process, secret: int,
@@ -62,6 +64,7 @@ def setup_control_flow_victim(process: Process, secret: int,
     else:
         secret_va = process.alloc(4096, "cf-secret")
     process.write(secret_va, secret)
+    note_secret_write(process, secret_va)
     process.write(handle_va + 0x20, 0)
     # Operands for both sides (doubles for the div side, ints for mul).
     process.write(operand_va, 7)            # mul operand a

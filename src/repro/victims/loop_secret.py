@@ -16,6 +16,7 @@ from typing import List
 
 from repro.isa.program import Program, ProgramBuilder
 from repro.kernel.process import Process
+from repro.oracle.runtime import note_secret_write
 from repro.victims.common import PIVOT, REPLAY_HANDLE, TRANSMIT
 
 
@@ -59,6 +60,7 @@ def setup_loop_secret_victim(process: Process, secrets: List[int],
     table_va = process.alloc(stride * table_lines, "ls-table")
     for i, secret in enumerate(secrets):
         process.write(secrets_va + i * 8, int(secret))
+    note_secret_write(process, secrets_va, 8 * len(secrets))
     for line in range(table_lines):
         process.write(table_va + line * stride, line)
     program = build_loop_secret_program(

@@ -17,6 +17,7 @@ from typing import List
 
 from repro.isa.program import Program, ProgramBuilder
 from repro.kernel.process import Process
+from repro.oracle.runtime import note_secret_write
 from repro.victims.common import REPLAY_HANDLE, TRANSMIT
 
 #: Number of float secrets in the table (Fig. 5a: 512).
@@ -50,6 +51,9 @@ def setup_single_secret_victim(process: Process, secrets: List[float],
     result_va = process.alloc(4096, "ss-result")
     process.write(count_va, 0)
     process.write_words(secrets_va, [float(s) for s in secrets])
+    # The whole table is enclave-held: which entry (and hence which
+    # cache line) getSecret touches is the secret being protected.
+    note_secret_write(process, secrets_va, 8 * max(len(secrets), 1))
     program = build_single_secret_program(
         count_va, secrets_va, result_va, secret_id, key)
     return SingleSecretVictim(program, count_va, secrets_va, result_va)

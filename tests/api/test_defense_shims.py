@@ -1,0 +1,76 @@
+"""Deprecation shims for the ``repro.defenses`` ->
+``repro.evaluation.defenses`` consolidation.
+
+Mirrors the ``repro.config`` migration contract: every legacy path
+still imports, warns with :class:`DeprecationWarning`, and hands back
+the *same* objects as the canonical package — while the canonical
+path imports silently.
+"""
+
+import importlib
+import sys
+import warnings
+
+import pytest
+
+SHIMS = ["repro.defenses", "repro.defenses.dejavu",
+         "repro.defenses.fences", "repro.defenses.pf_oblivious",
+         "repro.defenses.tsgx"]
+
+#: One representative name per legacy module.
+PROBES = {
+    "repro.defenses": "DEFENSES",
+    "repro.defenses.dejavu": "evaluate_dejavu",
+    "repro.defenses.fences": "evaluate_fence_on_flush",
+    "repro.defenses.pf_oblivious": "evaluate_pf_obliviousness",
+    "repro.defenses.tsgx": "wrap_with_tsgx",
+}
+
+
+def _fresh_import(name):
+    for cached in list(sys.modules):
+        if cached == name or cached.startswith(name + "."):
+            del sys.modules[cached]
+    return importlib.import_module(name)
+
+
+@pytest.mark.parametrize("module_name", SHIMS)
+def test_shim_warns_and_aliases(module_name):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        legacy = _fresh_import(module_name)
+    assert any(issubclass(w.category, DeprecationWarning)
+               and "repro.evaluation.defenses" in str(w.message)
+               for w in caught), module_name
+    canonical = importlib.import_module(
+        module_name.replace("repro.defenses",
+                            "repro.evaluation.defenses", 1))
+    probe = PROBES[module_name]
+    assert getattr(legacy, probe) is getattr(canonical, probe)
+
+
+@pytest.mark.parametrize("module_name", SHIMS)
+def test_shim_raises_for_unknown_attrs(module_name):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        legacy = _fresh_import(module_name)
+    with pytest.raises(AttributeError):
+        legacy.DoesNotExist
+
+
+def test_canonical_package_imports_without_warning():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        _fresh_import("repro.evaluation.defenses")
+    assert not [w for w in caught
+                if issubclass(w.category, DeprecationWarning)]
+
+
+def test_legacy_all_is_covered_by_canonical():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        legacy = _fresh_import("repro.defenses")
+    canonical = importlib.import_module("repro.evaluation.defenses")
+    for name in legacy.__all__:
+        assert name in canonical.__all__, name
+        assert getattr(legacy, name) is getattr(canonical, name)

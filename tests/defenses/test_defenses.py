@@ -1,14 +1,14 @@
 """Section 8 countermeasures behave as the paper describes."""
 
 
-from repro.defenses.dejavu import evaluate_dejavu
-from repro.defenses.fences import evaluate_fence_on_flush
-from repro.defenses.pf_oblivious import (
+from repro.evaluation.defenses.dejavu import evaluate_dejavu
+from repro.evaluation.defenses.fences import evaluate_fence_on_flush
+from repro.evaluation.defenses.pf_oblivious import (
     evaluate_pf_obliviousness,
     page_trace,
     setup_oblivious_cf_victim,
 )
-from repro.defenses.tsgx import TSGX_THRESHOLD, evaluate_tsgx, wrap_with_tsgx
+from repro.evaluation.defenses.tsgx import TSGX_THRESHOLD, evaluate_tsgx, wrap_with_tsgx
 from repro.victims.control_flow import setup_control_flow_victim
 from tests.conftest import run_program
 

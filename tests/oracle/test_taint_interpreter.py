@@ -1,0 +1,131 @@
+"""Propagation rules of the architectural taint interpreter.
+
+Hand-built programs pin each rule of
+:class:`repro.isa.taint.TaintedInterpreter` — the sequential
+counterpart of the OOO-core oracle — one rule per test, so a
+propagation regression names the exact rule it broke.
+"""
+
+from repro.isa.program import ProgramBuilder
+from repro.isa.taint import TaintedInterpreter
+
+SECRET_VA = 0x1000
+PUBLIC_VA = 0x2000
+
+
+def _run(build, *, regions=(), registers=(), memory=None):
+    """Build a program, seed taint, run to completion."""
+    builder = ProgramBuilder("taint-test")
+    build(builder)
+    builder.halt()
+    interp = TaintedInterpreter(builder.build(), memory=memory or {})
+    for va, size in regions:
+        interp.taint_region(va, size)
+    for reg in registers:
+        interp.taint_register(reg)
+    interp.run()
+    return interp
+
+
+def test_untouched_program_stays_clean():
+    def build(b):
+        b.li("r1", PUBLIC_VA)
+        b.load("r2", "r1", 0)
+        b.add("r3", "r2", "r2")
+        b.store("r1", "r3", 8)
+
+    interp = _run(build, memory={PUBLIC_VA: 7})
+    assert not interp.reg_taint
+    assert not interp.mem_taint
+    assert not interp.control
+
+
+def test_load_from_secret_region_taints_register():
+    def build(b):
+        b.li("r1", SECRET_VA)
+        b.load("r2", "r1", 0)
+
+    interp = _run(build, regions=[(SECRET_VA, 8)],
+                  memory={SECRET_VA: 42})
+    assert interp.tainted_reg("r2")
+    assert not interp.tainted_reg("r1")
+
+
+def test_arithmetic_propagates_register_taint():
+    def build(b):
+        b.li("r1", SECRET_VA)
+        b.load("r2", "r1", 0)
+        b.add("r3", "r2", "r1")    # tainted rs1
+        b.xor("r4", "r1", "r3")    # tainted rs2
+        b.addi("r5", "r4", 3)      # tainted immediate-op source
+        b.add("r6", "r1", "r1")    # both sources clean
+
+    interp = _run(build, regions=[(SECRET_VA, 8)],
+                  memory={SECRET_VA: 42})
+    assert interp.tainted_reg("r3")
+    assert interp.tainted_reg("r4")
+    assert interp.tainted_reg("r5")
+    assert not interp.tainted_reg("r6")
+
+
+def test_store_taints_and_clean_store_clears_memory():
+    def build(b):
+        b.li("r1", SECRET_VA)
+        b.li("r7", PUBLIC_VA)
+        b.load("r2", "r1", 0)
+        b.store("r7", "r2", 0)     # tainted value -> public word
+        b.store("r7", "r1", 8)     # clean value -> public word
+        b.load("r3", "r7", 0)      # reads the tainted word back
+
+    interp = _run(build, regions=[(SECRET_VA, 8)],
+                  memory={SECRET_VA: 42})
+    assert interp.tainted_mem(PUBLIC_VA)
+    assert not interp.tainted_mem(PUBLIC_VA + 8)
+    assert interp.tainted_reg("r3")
+
+
+def test_clean_overwrite_clears_register_taint():
+    def build(b):
+        b.li("r1", SECRET_VA)
+        b.load("r2", "r1", 0)
+        b.add("r2", "r1", "r1")    # clean overwrite of r2
+
+    interp = _run(build, regions=[(SECRET_VA, 8)],
+                  memory={SECRET_VA: 42})
+    assert not interp.tainted_reg("r2")
+
+
+def test_branch_on_taint_sets_sticky_control():
+    def build(b):
+        b.li("r1", SECRET_VA)
+        b.load("r2", "r1", 0)
+        b.li("r3", 0)
+        b.bne("r2", "r3", "skip")
+        b.label("skip")
+        b.li("r4", 5)              # written under control taint
+
+    interp = _run(build, regions=[(SECRET_VA, 8)],
+                  memory={SECRET_VA: 1})
+    assert interp.control
+    assert interp.tainted_reg("r4")
+
+
+def test_branch_on_clean_data_leaves_control_clear():
+    def build(b):
+        b.li("r2", 1)
+        b.li("r3", 0)
+        b.bne("r2", "r3", "skip")
+        b.label("skip")
+        b.li("r4", 5)
+
+    interp = _run(build)
+    assert not interp.control
+    assert not interp.tainted_reg("r4")
+
+
+def test_register_seeding_without_regions():
+    def build(b):
+        b.add("r3", "r2", "r2")
+
+    interp = _run(build, registers=("r2",))
+    assert interp.tainted_reg("r3")

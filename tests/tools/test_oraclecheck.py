@@ -1,0 +1,46 @@
+"""The oracle/statistics cross-check tool and its CLI spellings."""
+
+import json
+
+from repro.tools.oraclecheck import main, run_check
+
+
+def test_run_check_single_cell_is_consistent():
+    payload = run_check(("cf-cache",), ("none",))
+    assert payload["ok"]
+    assert payload["inconsistent"] == []
+    assert payload["control_event_cells"] == []
+    (cell,) = payload["cells"]
+    assert cell["cell"] == "cf-cache/none"
+    assert cell["verdict"] == "leaks"
+    assert cell["oracle_events"] > 0
+    assert cell["control_events"] == 0
+    assert cell["consistent"]
+
+
+def test_cli_table_and_json(capsys):
+    assert main(["--attacks", "cf-cache", "--defenses", "none"]) == 0
+    table = capsys.readouterr().out
+    assert "cf-cache/none" in table
+    assert "inconsistent cells: 0" in table
+    assert main(["--attacks", "cf-cache", "--defenses", "none",
+                 "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"]
+
+
+def test_cli_caches_cells_across_legs(tmp_path):
+    cache = tmp_path / "store"
+    assert main(["--attacks", "cf-cache", "--defenses", "none",
+                 "--cache-dir", str(cache)]) == 0
+    # Second invocation replays all four trials (2 legs x 2 runs)
+    # from the content-addressed store.
+    assert main(["--attacks", "cf-cache", "--defenses", "none",
+                 "--cache-dir", str(cache)]) == 0
+
+
+def test_diffsweep_oracle_leg_is_clean():
+    from repro.tools.diffsweep import run_sweep
+    summary = run_sweep(3, oracle=True)
+    assert summary["oracle"] is True
+    assert summary["matched"] == summary["cases"] == 3
