@@ -58,6 +58,7 @@ from repro.batch import (
 from repro.config import (
     CacheConfig,
     CoreConfig,
+    DefenseHookConfig,
     HierarchyConfig,
     MachineConfig,
     PWCConfig,
@@ -118,7 +119,7 @@ from repro.service import JobSpec, ServiceClient, ServiceError
 from repro.sgx.enclave import EnclaveConfig
 from repro.snapshot import MachineSnapshot, state_digest, warm_start
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "AESCacheAttack",
@@ -129,6 +130,7 @@ __all__ = [
     "CellMetrics",
     "ChaosPlan",
     "CoreConfig",
+    "DefenseHookConfig",
     "DefenseSpec",
     "EnclaveConfig",
     "EvaluationMatrix",

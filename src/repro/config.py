@@ -18,6 +18,7 @@ next to the code they configure and are re-exported:
 class                   defined in
 ======================  ============================================
 :class:`CoreConfig`     :mod:`repro.cpu.config`
+:class:`DefenseHookConfig`  :mod:`repro.cpu.config`
 :class:`PortConfig`     :mod:`repro.cpu.config`
 :class:`CacheConfig`    :mod:`repro.mem.cache`
 :class:`HierarchyConfig`  :mod:`repro.mem.hierarchy`
@@ -52,9 +53,9 @@ from __future__ import annotations
 
 import importlib
 from dataclasses import dataclass, field, fields, is_dataclass
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
-from repro.cpu.config import CoreConfig, PortConfig
+from repro.cpu.config import CoreConfig, DefenseHookConfig, PortConfig
 from repro.mem.cache import CacheConfig
 from repro.mem.hierarchy import HierarchyConfig
 from repro.vm.pwc import PWCConfig
@@ -71,6 +72,10 @@ class MachineConfig:
     pwc: PWCConfig = field(default_factory=PWCConfig)
     #: Physical memory size in 4 KiB frames (default 256 MiB).
     num_frames: int = 1 << 16
+    #: Hardware defense mechanism installed through the core's hook
+    #: layer (None = stock platform; see
+    #: :mod:`repro.evaluation.defenses.mechanisms`).
+    defense: Optional[DefenseHookConfig] = None
 
 
 #: Configs importable lazily (their modules import repro.cpu.machine,
@@ -85,9 +90,9 @@ _LAZY_CONFIGS = {
 #: Registry used by :func:`from_dict` to resolve ``"__config__"`` tags.
 _CONFIG_TYPES: Dict[str, type] = {
     cls.__name__: cls
-    for cls in (MachineConfig, CoreConfig, PortConfig, CacheConfig,
-                HierarchyConfig, TLBConfig, TLBHierarchyConfig,
-                PWCConfig)
+    for cls in (MachineConfig, CoreConfig, DefenseHookConfig,
+                PortConfig, CacheConfig, HierarchyConfig, TLBConfig,
+                TLBHierarchyConfig, PWCConfig)
 }
 
 
@@ -177,6 +182,7 @@ def from_dict(data: Dict[str, Any]) -> Any:
 __all__ = [
     "CacheConfig",
     "CoreConfig",
+    "DefenseHookConfig",
     "EnclaveConfig",
     "HierarchyConfig",
     "KernelConfig",

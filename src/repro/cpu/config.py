@@ -11,7 +11,7 @@ page walks, and a divider that is a shared, serially-occupied resource.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Tuple
+from typing import Any, Dict, FrozenSet, Tuple
 
 from repro.isa.instructions import Instruction, Opcode
 
@@ -86,6 +86,24 @@ def default_latencies() -> Dict[str, int]:
         # Store-to-load forwarding latency.
         "forward": 5,
     }
+
+
+@dataclass(frozen=True)
+class DefenseHookConfig:
+    """A hardware defense mechanism installed through the core's hook
+    layer (``squash_hooks`` / ``issue_gates`` / ``retire_hooks``).
+
+    ``scheme`` names a mechanism registered in
+    :mod:`repro.evaluation.defenses.mechanisms` (e.g.
+    ``"jamais-vu"``, ``"delay-on-squash"``, ``"simf"``, ``"leash"``);
+    ``params`` carries its knobs verbatim to the mechanism factory.
+    The config lives here (not in the evaluation package) because it
+    is part of :class:`~repro.config.MachineConfig` — the machine
+    resolves and installs the mechanism at construction time.
+    """
+
+    scheme: str = ""
+    params: Dict[str, Any] = field(default_factory=dict)
 
 
 @dataclass

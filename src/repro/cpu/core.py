@@ -105,6 +105,22 @@ class Core:
         #: Called when a non-squashed, non-faulted entry completes,
         #: just before its value is distributed to dependents.
         self.complete_hooks: List[Callable[[HardwareContext, ROBEntry], None]] = []
+        #: Called on every squash with ``(context, squashed_entries,
+        #: reason, trigger)``; ``reason`` is the same string the tracer
+        #: and oracle see ("page-fault", "mispredict", "memory-order",
+        #: "interrupt:<kind>", "txn-abort:<kind>") and ``trigger`` the
+        #: entry that caused it (None for interrupts/aborts).  This is
+        #: where squash-tracking defenses (Jamais Vu, Delay-on-Squash,
+        #: SIMF, LEASH) learn about pipeline flushes.
+        self.squash_hooks: List[Callable[
+            [HardwareContext, List[ROBEntry], str,
+             Optional[ROBEntry]], None]] = []
+        #: Issue gates: predicates consulted before an entry may begin
+        #: execution.  Any gate returning False keeps the entry in the
+        #: ready queue for a later cycle (no port is consumed).  Zero
+        #: cost when empty — the list is checked before iteration.
+        self.issue_gates: List[Callable[
+            [HardwareContext, ROBEntry], bool]] = []
         #: Optional leakage-oracle hub (repro.oracle) receiving squash
         #: notifications with the triggering entry; None when no oracle
         #: has ever been attached (the zero-cost default).
@@ -256,6 +272,8 @@ class Core:
         if self.oracle is not None:
             self.oracle.on_squash(self.cycle, context, squashed, reason,
                                   trigger)
+        for hook in self.squash_hooks:
+            hook(context, squashed, reason, trigger)
 
     def _schedule(self, entry: ROBEntry, latency: int):
         entry.state = EntryState.EXECUTING
@@ -537,6 +555,9 @@ class Core:
             if entry.seq == fence_seq and not \
                     context.rob.all_older_completed(entry.seq):
                 return False
+        if self.issue_gates and not all(
+                gate(context, entry) for gate in self.issue_gates):
+            return False  # held back by a defense mechanism
         op_cls = entry.op_cls
         if entry.instr.is_load:
             issued = self._execute_load(context, entry)

@@ -60,6 +60,13 @@ class Machine:
         #: reference; subsystems keep plain attribute increments.
         self.metrics = MetricsRegistry()
         self._register_metrics()
+        #: Installed DefenseMechanism, or None.  Resolved from
+        #: ``config.defense`` after the metrics registry exists so
+        #: mechanisms can create their counters in ``attach``.
+        self.defense = None
+        if self.config.defense is not None and self.config.defense.scheme:
+            from repro.evaluation.defenses.mechanisms import install_defense
+            self.defense = install_defense(self, self.config.defense)
         #: Active EventTracer, or None (the zero-cost default).
         self.tracer = None
         note_machine(self)
@@ -128,13 +135,25 @@ class Machine:
     def capture(self) -> tuple:
         """Clone the whole platform's mutable state (see
         :mod:`repro.snapshot` for the composed, versioned snapshot)."""
-        return (self.phys.capture(), self.hierarchy.capture(),
-                self.tlbs.capture(), self.pwc.capture(),
-                self.walker.capture(), self.core.capture(),
-                self.metrics.capture())
+        payload = (self.phys.capture(), self.hierarchy.capture(),
+                   self.tlbs.capture(), self.pwc.capture(),
+                   self.walker.capture(), self.core.capture(),
+                   self.metrics.capture())
+        if self.defense is not None:
+            # Appended only when a defense is installed, so default
+            # platforms keep their historical payload shape (and the
+            # digests / memo keys derived from it).
+            payload = payload + (self.defense.capture(),)
+        return payload
 
     def restore(self, state: tuple):
-        phys, hierarchy, tlbs, pwc, walker, core, metrics = state
+        if self.defense is not None:
+            if len(state) < 8:
+                raise ValueError(
+                    "snapshot lacks defense state but a defense "
+                    "mechanism is installed")
+            self.defense.restore(state[7])
+        phys, hierarchy, tlbs, pwc, walker, core, metrics = state[:7]
         self.phys.restore(phys)
         self.hierarchy.restore(hierarchy)
         self.tlbs.restore(tlbs)

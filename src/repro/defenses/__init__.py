@@ -20,6 +20,7 @@ __all__ = [
     "build_timed_victim",
     "evaluate_dejavu",
     "FenceDefenseReport",
+    "count_transmit_issues",
     "evaluate_fence_on_flush",
     "ObliviousCFVictim",
     "PFObliviousReport",
@@ -30,6 +31,31 @@ __all__ = [
     "TSGXReport",
     "evaluate_tsgx",
     "wrap_with_tsgx",
+    "DefenseMechanism",
+    "MECHANISMS",
+    "build_mechanism",
+    "install_defense",
+    "nonspeculative",
+    "register_mechanism",
+    "JAMAIS_VU_VARIANTS",
+    "JamaisVuMechanism",
+    "JamaisVuReport",
+    "evaluate_jamais_vu",
+    "jamais_vu_machine",
+    "SIDE_CHANNEL_CLASSES",
+    "DelayOnSquashMechanism",
+    "DelayOnSquashReport",
+    "delay_on_squash_machine",
+    "evaluate_delay_on_squash",
+    "SIMFFlushMechanism",
+    "SIMFReport",
+    "evaluate_simf",
+    "is_kernel_entry",
+    "simf_machine",
+    "LeashMechanism",
+    "LeashReport",
+    "evaluate_leash",
+    "leash_machine",
 ]
 
 

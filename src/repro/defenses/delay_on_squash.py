@@ -1,0 +1,19 @@
+"""Deprecated alias of :mod:`repro.evaluation.defenses.delay_on_squash`."""
+
+import warnings
+
+warnings.warn(
+    "repro.defenses.delay_on_squash is deprecated; import from "
+    "repro.evaluation.defenses.delay_on_squash instead",
+    DeprecationWarning, stacklevel=2)
+
+
+def __getattr__(name):
+    """PEP 562 forwarding to the canonical module."""
+    import repro.evaluation.defenses.delay_on_squash as _canonical
+
+    try:
+        return getattr(_canonical, name)
+    except AttributeError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}") from None

@@ -1,0 +1,19 @@
+"""Deprecated alias of :mod:`repro.evaluation.defenses.jamais_vu`."""
+
+import warnings
+
+warnings.warn(
+    "repro.defenses.jamais_vu is deprecated; import from "
+    "repro.evaluation.defenses.jamais_vu instead",
+    DeprecationWarning, stacklevel=2)
+
+
+def __getattr__(name):
+    """PEP 562 forwarding to the canonical module."""
+    import repro.evaluation.defenses.jamais_vu as _canonical
+
+    try:
+        return getattr(_canonical, name)
+    except AttributeError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}") from None

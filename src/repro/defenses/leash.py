@@ -1,0 +1,19 @@
+"""Deprecated alias of :mod:`repro.evaluation.defenses.leash`."""
+
+import warnings
+
+warnings.warn(
+    "repro.defenses.leash is deprecated; import from "
+    "repro.evaluation.defenses.leash instead",
+    DeprecationWarning, stacklevel=2)
+
+
+def __getattr__(name):
+    """PEP 562 forwarding to the canonical module."""
+    import repro.evaluation.defenses.leash as _canonical
+
+    try:
+        return getattr(_canonical, name)
+    except AttributeError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}") from None

@@ -1,0 +1,19 @@
+"""Deprecated alias of :mod:`repro.evaluation.defenses.simf`."""
+
+import warnings
+
+warnings.warn(
+    "repro.defenses.simf is deprecated; import from "
+    "repro.evaluation.defenses.simf instead",
+    DeprecationWarning, stacklevel=2)
+
+
+def __getattr__(name):
+    """PEP 562 forwarding to the canonical module."""
+    import repro.evaluation.defenses.simf as _canonical
+
+    try:
+        return getattr(_canonical, name)
+    except AttributeError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}") from None

@@ -57,9 +57,20 @@ def evaluate_fence_on_flush(replays: int = 10,
 
 def _count_transmit_issues(replays: int, secret: int,
                            defended: bool) -> int:
-    rep = Replayer(AttackEnvironment.build(
+    return count_transmit_issues(
+        replays, secret,
         machine_config=MachineConfig(core=CoreConfig(
-            fence_on_flush=defended)),
+            fence_on_flush=defended)))
+
+
+def count_transmit_issues(replays: int, secret: int,
+                          machine_config: MachineConfig = None) -> int:
+    """Replay the Fig. 6 victim *replays* times on *machine_config*
+    (stock platform when None) and count its speculatively executed
+    transmit (divide) instructions — the measurement every
+    "suppress re-execution" defense is judged by."""
+    rep = Replayer(AttackEnvironment.build(
+        machine_config=machine_config or MachineConfig(),
         module_config=MicroScopeConfig(fault_handler_cost=2000)))
     victim_proc = rep.create_victim_process("victim")
     victim = setup_control_flow_victim(victim_proc, secret)

@@ -34,7 +34,8 @@ from typing import List, Optional, Sequence
 _ROOT = Path(__file__).resolve().parents[3]
 
 #: Files checked when none are given on the command line.
-DEFAULT_DOCS = ("README.md", "docs/API.md", "docs/ORACLE.md")
+DEFAULT_DOCS = ("README.md", "docs/API.md", "docs/DEFENSES.md",
+                "docs/ORACLE.md")
 
 #: Comment text that exempts the following code block.
 SKIP_MARKER = "doccheck: skip"

@@ -7,6 +7,8 @@ master seed, and renders them into:
 
 * ``docs/RESULTS.md`` — the human-readable verdict tables;
 * ``docs/results.json`` — the machine-readable payload;
+* ``docs/DEFENSES.md`` — per-defense sections (mechanism, knobs,
+  paper citation, matrix column excerpt, runnable example);
 * the marked block in ``README.md`` — the summary table alone.
 
 Every artifact is a pure function of the committed code and the
@@ -40,6 +42,7 @@ _ROOT = Path(__file__).resolve().parents[3]
 #: The committed artifacts CI diffs against.
 RESULTS_MD_PATH = _ROOT / "docs" / "RESULTS.md"
 RESULTS_JSON_PATH = _ROOT / "docs" / "results.json"
+DEFENSES_MD_PATH = _ROOT / "docs" / "DEFENSES.md"
 README_PATH = _ROOT / "README.md"
 
 #: Markers delimiting the generated block inside README.md.
@@ -246,6 +249,103 @@ The machine-readable form of everything above is
 """
 
 
+def _defense_section(matrix: EvaluationMatrix, name: str) -> str:
+    """One generated ``docs/DEFENSES.md`` section."""
+    from repro.evaluation.defenses import get_defense
+    spec = get_defense(name)
+    parts = [f"## `{name}`", "", spec.summary, "",
+             f"*Paper:* {spec.paper_ref}"]
+    if spec.mechanism:
+        parts += ["", spec.mechanism]
+    levers = []
+    if spec.machine is not None and spec.machine.defense is not None:
+        levers.append(
+            "machine mechanism "
+            f"`{spec.machine.defense.scheme}` "
+            "(installed via `MachineConfig.defense`)")
+    elif spec.machine is not None:
+        levers.append("machine knobs (see below)")
+    if spec.replay_budget is not None:
+        levers.append(f"replay budget {spec.replay_budget}")
+    if spec.victim_transform:
+        levers.append(f"victim transform `{spec.victim_transform}`")
+    if spec.detects:
+        levers.append("detection (cells over budget are flagged)")
+    if levers:
+        parts += ["", "*Levers:* " + "; ".join(levers) + "."]
+    if spec.knobs:
+        parts += ["", "| knob | meaning |", "|---|---|"]
+        parts += [f"| `{knob}` | {meaning} |"
+                  for knob, meaning in spec.knobs]
+    if name in matrix.defenses:
+        parts += ["", f"Matrix column (master seed "
+                      f"{matrix.master_seed}):", "",
+                  "| attack | verdict |", "|---|---|"]
+        for attack in matrix.attacks:
+            cell = matrix.cells[(attack, name)]
+            acc = "—" if cell.metrics.accuracy is None \
+                else f"{cell.metrics.accuracy:.2f}"
+            parts.append(f"| {attack} "
+                         f"| {cell.classification} ({acc}) |")
+    for note in spec.notes:
+        parts += ["", f"> {note}"]
+    if spec.example:
+        parts += ["", "```python", spec.example.rstrip("\n"), "```"]
+    return "\n".join(parts)
+
+
+def render_defenses_md(matrix: EvaluationMatrix) -> str:
+    """The full generated ``docs/DEFENSES.md`` document."""
+    from repro.evaluation.defenses import defense_names
+    sections = "\n\n".join(_defense_section(matrix, name)
+                           for name in defense_names())
+    return f"""# Defenses (generated)
+
+<!-- Generated by `python -m repro.tools.results`; do not edit by
+     hand.  CI regenerates this file from master seed
+     {matrix.master_seed} and fails on any byte of drift. -->
+
+Every matrix column in [`RESULTS.md`](RESULTS.md) is one
+`repro.evaluation.defenses.DefenseSpec`: a §8 countermeasure (or a
+follow-on defense from the replay-attack literature) reduced to
+mechanism-level levers — a machine configuration, a replay budget, a
+victim transform, a detector, or a machine-level
+`DefenseMechanism` installed through `MachineConfig.defense` and the
+core's hook layer (`squash_hooks`, `retire_hooks`, `issue_gates`; see
+[`ARCHITECTURE.md`](ARCHITECTURE.md)).  Because every attack runner
+passes `machine=defense.machine` through unchanged, a new mechanism
+reaches all seven attack rows with zero attack-side code.
+
+The python examples below are executed by
+`python -m repro.tools.doccheck` on every CI run.
+
+{sections}
+
+## Reading the matrix
+
+A cell's verdict comes from `repro.evaluation.classify_cell`:
+
+* **defeated** — leak accuracy within ε = 0.1 of blind guessing (or
+  the cell errored: an attack that cannot run does not leak);
+* **degraded** — still leaking, but measurably below the undefended
+  baseline, or the defense's detector fired;
+* **unaffected** — accuracy within ε of the baseline and no
+  detection.
+
+The baseline for each row is its `none` cell, so the verdicts are
+per-attack, not absolute: `pf-oblivious` *defeats* the
+controlled-channel baseline yet leaves every MicroScope row
+`unaffected` — the paper's §8 argument in one table row.
+
+## Regenerating
+
+```bash
+PYTHONPATH=src python -m repro.tools.results            # rewrite
+PYTHONPATH=src python -m repro.tools.results --check    # CI drift gate
+```
+"""
+
+
 def readme_block(matrix: EvaluationMatrix) -> str:
     """The generated summary block embedded in README.md (markers
     included)."""
@@ -310,6 +410,7 @@ def main(argv=None) -> int:
     matrix, claims, results_md, results_json = generate(
         workers=args.workers, store=args.cache_dir)
     block = readme_block(matrix)
+    defenses_md = render_defenses_md(matrix)
 
     if args.check:
         stale = []
@@ -319,6 +420,9 @@ def main(argv=None) -> int:
         if not RESULTS_JSON_PATH.exists() \
                 or RESULTS_JSON_PATH.read_text() != results_json:
             stale.append(str(RESULTS_JSON_PATH))
+        if not DEFENSES_MD_PATH.exists() \
+                or DEFENSES_MD_PATH.read_text() != defenses_md:
+            stale.append(str(DEFENSES_MD_PATH))
         readme = README_PATH.read_text()
         if README_BEGIN not in readme \
                 or extract_readme_block(readme) != block:
@@ -336,11 +440,13 @@ def main(argv=None) -> int:
     RESULTS_MD_PATH.parent.mkdir(parents=True, exist_ok=True)
     RESULTS_MD_PATH.write_text(results_md)
     RESULTS_JSON_PATH.write_text(results_json)
+    DEFENSES_MD_PATH.write_text(defenses_md)
     readme = README_PATH.read_text()
     README_PATH.write_text(apply_readme_block(readme, block))
     failed = [c["name"] for c in claims if c["passed"] is False]
     print(f"wrote {RESULTS_MD_PATH}")
     print(f"wrote {RESULTS_JSON_PATH}")
+    print(f"wrote {DEFENSES_MD_PATH}")
     print(f"updated generated block in {README_PATH}")
     if failed:
         print(f"WARNING: failed claims: {', '.join(failed)}",

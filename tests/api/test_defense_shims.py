@@ -14,24 +14,46 @@ import warnings
 import pytest
 
 SHIMS = ["repro.defenses", "repro.defenses.dejavu",
-         "repro.defenses.fences", "repro.defenses.pf_oblivious",
-         "repro.defenses.tsgx"]
+         "repro.defenses.delay_on_squash", "repro.defenses.fences",
+         "repro.defenses.jamais_vu", "repro.defenses.leash",
+         "repro.defenses.mechanisms", "repro.defenses.pf_oblivious",
+         "repro.defenses.simf", "repro.defenses.tsgx"]
 
 #: One representative name per legacy module.
 PROBES = {
     "repro.defenses": "DEFENSES",
     "repro.defenses.dejavu": "evaluate_dejavu",
+    "repro.defenses.delay_on_squash": "DelayOnSquashMechanism",
     "repro.defenses.fences": "evaluate_fence_on_flush",
+    "repro.defenses.jamais_vu": "JamaisVuMechanism",
+    "repro.defenses.leash": "LeashMechanism",
+    "repro.defenses.mechanisms": "MECHANISMS",
     "repro.defenses.pf_oblivious": "evaluate_pf_obliviousness",
+    "repro.defenses.simf": "SIMFFlushMechanism",
     "repro.defenses.tsgx": "wrap_with_tsgx",
 }
 
 
 def _fresh_import(name):
+    """Import *name* with a cold module cache, then put the
+    previously-cached module objects back: re-executing the canonical
+    package would otherwise re-create the mechanism classes (and the
+    MECHANISMS registry) mid-session, breaking ``isinstance`` checks
+    in every test that runs after this module."""
+    saved = {}
     for cached in list(sys.modules):
         if cached == name or cached.startswith(name + "."):
-            del sys.modules[cached]
-    return importlib.import_module(name)
+            saved[cached] = sys.modules.pop(cached)
+    try:
+        return importlib.import_module(name)
+    finally:
+        for cached in list(sys.modules):
+            if cached == name or cached.startswith(name + "."):
+                del sys.modules[cached]
+        sys.modules.update(saved)
+        parent_name, _, leaf = name.rpartition(".")
+        if parent_name in sys.modules and name in sys.modules:
+            setattr(sys.modules[parent_name], leaf, sys.modules[name])
 
 
 @pytest.mark.parametrize("module_name", SHIMS)
